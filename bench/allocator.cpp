@@ -1,0 +1,113 @@
+// Micro: allocation strategies. The slab allocator is WFA's mm_allocator
+// equivalent; malloc/free per wavefront is the naive alternative; the
+// hierarchical WRAM/MRAM allocator (measured in DPU cycles, not wall
+// time) is the paper's contribution.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "pim/meta_space.hpp"
+#include "upmem/dpu.hpp"
+#include "wfa/allocator.hpp"
+
+namespace {
+
+using namespace pimwfa;
+
+// Allocation trace of a typical 100bp E=4% alignment: ~30 wavefront sets,
+// three components each, widths growing to ~60 diagonals.
+std::vector<usize> wavefront_trace() {
+  std::vector<usize> sizes;
+  for (usize score = 0; score < 30; ++score) {
+    const usize width = std::min<usize>(2 * score + 3, 61);
+    for (int comp = 0; comp < 3; ++comp) sizes.push_back(width * 4);
+  }
+  return sizes;
+}
+
+void BM_SlabAllocator(benchmark::State& state) {
+  const std::vector<usize> trace = wavefront_trace();
+  wfa::SlabAllocator allocator;
+  for (auto _ : state) {
+    allocator.reset();
+    for (const usize bytes : trace) {
+      benchmark::DoNotOptimize(allocator.allocate(bytes));
+    }
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(trace.size()));
+}
+BENCHMARK(BM_SlabAllocator);
+
+void BM_MallocPerWavefront(benchmark::State& state) {
+  const std::vector<usize> trace = wavefront_trace();
+  std::vector<void*> blocks;
+  blocks.reserve(trace.size());
+  for (auto _ : state) {
+    blocks.clear();
+    for (const usize bytes : trace) {
+      void* p = std::malloc(bytes);
+      benchmark::DoNotOptimize(p);
+      blocks.push_back(p);
+    }
+    for (void* p : blocks) std::free(p);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(trace.size()));
+}
+BENCHMARK(BM_MallocPerWavefront);
+
+// DPU-cycle cost of the hierarchical allocator per policy: bump-allocate
+// the trace and write every offset once through the staging machinery.
+void dpu_alloc_cycles(benchmark::State& state, pim::MetadataPolicy policy) {
+  const std::vector<usize> trace = wavefront_trace();
+  const upmem::SystemConfig config = upmem::SystemConfig::tiny(1);
+  u64 cycles = 0;
+
+  class AllocKernel final : public upmem::DpuKernel {
+   public:
+    AllocKernel(const std::vector<usize>& trace, pim::MetadataPolicy policy)
+        : trace_(trace), policy_(policy) {}
+    void run(upmem::TaskletCtx& ctx) override {
+      auto space = policy_ == pim::MetadataPolicy::kMram
+                       ? pim::MetaSpace::make_mram(ctx, 1 << 20, 1 << 20, 500)
+                       : pim::MetaSpace::make_wram(ctx, 48 * 1024, 500);
+      pim::OffsetWindow window(space);
+      for (const usize bytes : trace_) {
+        const usize count = bytes / 4;
+        const u64 handle = space.alloc_offsets(count);
+        window.bind(handle, 0, static_cast<i32>(count) - 1, true);
+        for (i32 k = 0; k < static_cast<i32>(count); ++k) window.set(k, k);
+        window.flush();
+      }
+    }
+
+   private:
+    const std::vector<usize>& trace_;
+    pim::MetadataPolicy policy_;
+  };
+
+  for (auto _ : state) {
+    upmem::Dpu dpu(config, 0);
+    AllocKernel kernel(trace, policy);
+    const upmem::DpuRunStats stats = dpu.launch(kernel, 1);
+    cycles = stats.cycles;
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["dpu_cycles_per_pair"] = static_cast<double>(cycles);
+}
+
+void BM_DpuAllocatorMram(benchmark::State& state) {
+  dpu_alloc_cycles(state, pim::MetadataPolicy::kMram);
+}
+BENCHMARK(BM_DpuAllocatorMram);
+
+void BM_DpuAllocatorWram(benchmark::State& state) {
+  dpu_alloc_cycles(state, pim::MetadataPolicy::kWram);
+}
+BENCHMARK(BM_DpuAllocatorWram);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Observation (1) of the paper: CPU thread scaling saturates because
+// batch alignment is memory-bound. Measures single-thread time on this
+// machine, projects the full thread sweep on the modeled Xeon Gold 5120
+// pair, and reports where the roofline flips from compute- to
+// bandwidth-bound.
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/strings.hpp"
+#include "cpu/cpu_batch.hpp"
+#include "cpu/scaling_model.hpp"
+#include "seq/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pimwfa;
+  Cli cli(argc, argv);
+  cli.set_description("CPU thread-scaling roofline for WFA batch alignment");
+  const usize pairs = static_cast<usize>(
+      cli.get_int("pairs", 5'000'000, "modeled batch size"));
+  const usize sample = static_cast<usize>(
+      cli.get_int("sample", 40'000, "pairs actually measured"));
+  if (cli.help_requested()) {
+    std::cout << cli.help();
+    return 0;
+  }
+
+  const cpu::CpuSystemModel system;
+  std::cout << "Obs-1: CPU scaling of WFA batch alignment (modeled "
+            << system.name << ")\n\n";
+
+  for (const double error_rate : {0.02, 0.04}) {
+    const seq::ReadPairSet batch =
+        seq::fig1_dataset(std::min(sample, pairs), error_rate, 0xC50);
+    cpu::CpuBatchAligner aligner({align::Penalties::defaults(), 1});
+    const cpu::CpuBatchResult measured =
+        aligner.align_batch(batch, align::AlignmentScope::kFull);
+    const double scale =
+        static_cast<double>(pairs) / static_cast<double>(batch.size());
+    const double t1 = measured.seconds * scale * system.host_core_ratio;
+    const double traffic = cpu::estimate_batch_traffic(
+        pairs, static_cast<u64>(
+                   static_cast<double>(measured.work.allocated_bytes) * scale));
+    const cpu::ScalingModel model(system, t1, traffic);
+
+    std::cout << strprintf(
+        "E=%.0f%%: measured %s/pair single-thread here; projected T1=%s, "
+        "memory floor=%s, saturates at %zu threads\n",
+        error_rate * 100,
+        format_seconds(measured.seconds / static_cast<double>(batch.size()))
+            .c_str(),
+        format_seconds(t1).c_str(),
+        format_seconds(model.memory_floor_seconds()).c_str(),
+        model.saturation_threads());
+    std::cout << strprintf("  %-9s %14s %12s\n", "threads", "time", "speedup");
+    for (const usize threads : {1u, 2u, 4u, 8u, 16u, 32u, 48u, 56u}) {
+      const double seconds = model.project(threads);
+      std::cout << strprintf("  %-9zu %14s %11.2fx\n", threads,
+                             format_seconds(seconds).c_str(), t1 / seconds);
+    }
+    std::cout << "\n";
+  }
+  std::cout << "Scaling collapses once the aggregate wavefront traffic hits"
+               " the effective DRAM\nbandwidth - the motivation for moving"
+               " the computation into memory.\n";
+  return 0;
+}

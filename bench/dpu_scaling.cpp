@@ -1,0 +1,51 @@
+// Abl-B: tasklet scaling on one DPU. The UPMEM pipeline dispatches one
+// instruction per cycle and a tasklet can re-issue only every 11 cycles,
+// so kernel time should fall ~linearly up to 11 tasklets and plateau
+// after - the law that makes 24-tasklet DPUs worth feeding.
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/strings.hpp"
+#include "pim/host.hpp"
+#include "seq/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pimwfa;
+  Cli cli(argc, argv);
+  cli.set_description("Tasklet scaling of the WFA kernel on one DPU");
+  const usize pairs = static_cast<usize>(
+      cli.get_int("pairs", 1536, "pairs on the benched DPU"));
+  const double error_rate =
+      cli.get_double("error-rate", 0.02, "edit-distance threshold");
+  if (cli.help_requested()) {
+    std::cout << cli.help();
+    return 0;
+  }
+
+  const seq::ReadPairSet batch = seq::fig1_dataset(pairs, error_rate, 0xDB2);
+
+  std::cout << "Abl-B: WFA kernel time vs tasklets (one DPU, "
+            << with_commas(pairs) << " pairs, E=" << error_rate * 100
+            << "%)\n\n";
+  std::cout << strprintf("  %-9s %14s %12s %18s\n", "tasklets", "kernel",
+                         "speedup", "pipeline state");
+  std::cout << "  " << std::string(58, '-') << "\n";
+
+  double t1 = 0;
+  for (usize tasklets = 1; tasklets <= 24; ++tasklets) {
+    pim::PimOptions options;
+    options.system = upmem::SystemConfig::tiny(1);
+    options.nr_tasklets = tasklets;
+    pim::PimBatchAligner aligner(options);
+    const pim::PimBatchResult result =
+        aligner.align_batch(batch, align::AlignmentScope::kFull);
+    const double seconds = result.timings.kernel_seconds;
+    if (tasklets == 1) t1 = seconds;
+    std::cout << strprintf("  %-9zu %14s %11.2fx %18s\n", tasklets,
+                           format_seconds(seconds).c_str(), t1 / seconds,
+                           tasklets < 11 ? "latency-bound" : "saturated");
+  }
+  std::cout << "\nExpected: near-linear gains to 11 tasklets (revolver"
+               " pipeline re-issue), plateau beyond.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Ext-1 (the paper's stated future work): scaling to longer read lengths.
+// Sweeps read length at fixed E and reports per-DPU kernel throughput,
+// WFA work growth, and where WRAM pressure starts to force the tasklet
+// count down (long reads need larger per-tasklet sequence/CIGAR buffers).
+#include <iostream>
+
+#include "align/penalties.hpp"
+#include "common/cli.hpp"
+#include "common/strings.hpp"
+#include "pim/host.hpp"
+#include "seq/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pimwfa;
+  Cli cli(argc, argv);
+  cli.set_description("Read-length scaling of the PIM WFA kernel");
+  const double error_rate =
+      cli.get_double("error-rate", 0.02, "edit-distance threshold");
+  const usize bases = static_cast<usize>(cli.get_int(
+      "bases", 160'000, "total bases per DPU (pairs = bases/length)"));
+  if (cli.help_requested()) {
+    std::cout << cli.help();
+    return 0;
+  }
+
+  std::cout << "Ext-1: read-length scaling (E=" << error_rate * 100
+            << "%, constant " << with_commas(bases) << " bases/DPU)\n\n";
+  std::cout << strprintf("  %-8s %-7s %-9s %14s %16s %14s\n", "length",
+                         "pairs", "tasklets", "kernel", "bases/s/DPU",
+                         "cells/pair");
+  std::cout << "  " << std::string(74, '-') << "\n";
+
+  for (const usize length : {100u, 250u, 500u, 1000u, 2000u, 4000u}) {
+    const usize pairs = std::max<usize>(bases / length, 1);
+    seq::GeneratorConfig gen;
+    gen.pairs = pairs;
+    gen.read_length = length;
+    gen.error_rate = error_rate;
+    gen.seed = 0x1E4 + length;
+    const seq::ReadPairSet batch = seq::generate_dataset(gen);
+
+    // Cap the score at what an E-bounded workload can reach (plus slack);
+    // the worst case over 4000bp would blow the descriptor table.
+    const usize errors = seq::errors_for(length, error_rate);
+    const align::Penalties penalties = align::Penalties::defaults();
+    const u64 cap = 8 * static_cast<u64>(errors + 4) *
+                    static_cast<u64>(std::max(
+                        penalties.mismatch,
+                        penalties.gap_open + penalties.gap_extend));
+
+    // Long reads need big WRAM buffers: find the largest tasklet count
+    // that fits (the realistic deployment policy).
+    for (usize tasklets = 24; tasklets >= 1; tasklets /= 2) {
+      pim::PimOptions options;
+      options.system = upmem::SystemConfig::tiny(1);
+      options.nr_tasklets = tasklets;
+      options.max_score = cap;
+      try {
+        pim::PimBatchAligner aligner(options);
+        const pim::PimBatchResult result =
+            aligner.align_batch(batch, align::AlignmentScope::kFull);
+        const double seconds = result.timings.kernel_seconds;
+        const double bases_per_s =
+            static_cast<double>(pairs) * static_cast<double>(length) / seconds;
+        const u64 cells =
+            result.timings.work.instructions / std::max<u64>(pairs, 1);
+        std::cout << strprintf("  %-8zu %-7zu %-9zu %14s %16s %14s\n", length,
+                               pairs, tasklets,
+                               format_seconds(seconds).c_str(),
+                               with_commas(static_cast<u64>(bases_per_s)).c_str(),
+                               with_commas(cells).c_str());
+        break;
+      } catch (const HardwareFault&) {
+        if (tasklets == 1) {
+          std::cout << strprintf("  %-8zu %-7zu %s\n", length, pairs,
+                                 "does not fit even with 1 tasklet");
+          break;
+        }
+      }
+    }
+  }
+  std::cout << "\nWFA work grows with the score (O(s^2) cells + O(n)"
+               " extension), and WRAM buffer\npressure cuts the feasible"
+               " tasklet count for long reads - the reason the paper\n"
+               "lists longer reads as future work.\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Dataset utility: generate synthetic read-pair datasets (the WFA-paper
+// protocol), convert between formats (.seq text / binary / FASTA), and
+// print statistics.
+//
+//   ./build/examples/dataset_tools generate --pairs 1000 --error-rate 0.04 --out pairs.seq
+//   ./build/examples/dataset_tools stats pairs.seq
+//   ./build/examples/dataset_tools convert pairs.seq pairs.bin
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/strings.hpp"
+#include "seq/fasta.hpp"
+#include "seq/generator.hpp"
+
+namespace {
+
+using namespace pimwfa;
+
+bool has_suffix(const std::string& name, const std::string& suffix) {
+  return name.size() >= suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+seq::ReadPairSet load_any(const std::string& path) {
+  if (has_suffix(path, ".bin")) return seq::ReadPairSet::load(path);
+  return seq::read_seq_pairs_file(path);
+}
+
+void save_any(const std::string& path, const seq::ReadPairSet& set) {
+  if (has_suffix(path, ".bin")) {
+    set.save(path);
+  } else if (has_suffix(path, ".fa") || has_suffix(path, ".fasta")) {
+    std::vector<seq::FastaRecord> records;
+    records.reserve(set.size() * 2);
+    for (usize i = 0; i < set.size(); ++i) {
+      records.push_back({"pair" + std::to_string(i) + "/pattern",
+                         set[i].pattern});
+      records.push_back({"pair" + std::to_string(i) + "/text", set[i].text});
+    }
+    seq::write_fasta_file(path, records);
+  } else {
+    seq::write_seq_pairs_file(path, set);
+  }
+}
+
+int usage() {
+  std::cout << "usage: dataset_tools <generate|stats|convert> [flags]\n"
+            << "  generate --pairs N --read-length L --error-rate E --seed S"
+            << " --out FILE\n"
+            << "  stats FILE\n"
+            << "  convert IN OUT        (.seq / .bin / .fa by extension)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  if (cli.positional().empty() || cli.help_requested()) return usage();
+  const std::string command = cli.positional()[0];
+
+  try {
+    if (command == "generate") {
+      seq::GeneratorConfig config;
+      config.pairs = static_cast<usize>(cli.get_int("pairs", 1000, ""));
+      config.read_length =
+          static_cast<usize>(cli.get_int("read-length", 100, ""));
+      config.error_rate = cli.get_double("error-rate", 0.02, "");
+      config.seed = static_cast<u64>(cli.get_int("seed", 42, ""));
+      const std::string out = cli.get_string("out", "pairs.seq", "");
+      const seq::ReadPairSet set = seq::generate_dataset(config);
+      save_any(out, set);
+      std::cout << "wrote " << with_commas(set.size()) << " pairs to " << out
+                << "\n";
+      return 0;
+    }
+    if (command == "stats") {
+      if (cli.positional().size() < 2) return usage();
+      const seq::ReadPairSet set = load_any(cli.positional()[1]);
+      const seq::DatasetStats stats = set.stats();
+      std::cout << "pairs         : " << with_commas(stats.pairs) << "\n";
+      std::cout << "total bases   : " << with_commas(stats.total_bases) << "\n";
+      std::cout << "length range  : " << stats.min_length << " .. "
+                << stats.max_length << "\n";
+      std::cout << strprintf("mean pattern  : %.1f bp\n",
+                             stats.mean_pattern_length);
+      std::cout << strprintf("mean text     : %.1f bp\n",
+                             stats.mean_text_length);
+      return 0;
+    }
+    if (command == "convert") {
+      if (cli.positional().size() < 3) return usage();
+      const seq::ReadPairSet set = load_any(cli.positional()[1]);
+      save_any(cli.positional()[2], set);
+      std::cout << "converted " << with_commas(set.size()) << " pairs: "
+                << cli.positional()[1] << " -> " << cli.positional()[2] << "\n";
+      return 0;
+    }
+  } catch (const Error& error) {
+    std::cerr << "dataset_tools: " << error.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,76 @@
+// End-to-end PIM pipeline on the simulated UPMEM system: generate a read
+// batch, scatter it across DPU MRAMs, run the WFA kernel on every DPU with
+// 24 tasklets, gather results, and report the Fig.1-style timing
+// breakdown.
+//
+//   ./build/examples/pim_batch_align
+//   ./build/examples/pim_batch_align --pairs 20000 --dpus 16 --tasklets 12
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/strings.hpp"
+#include "cpu/cpu_batch.hpp"
+#include "pim/host.hpp"
+#include "seq/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pimwfa;
+  Cli cli(argc, argv);
+  cli.set_description("Batch alignment on the simulated UPMEM PIM system");
+  const usize pairs =
+      static_cast<usize>(cli.get_int("pairs", 8192, "read pairs"));
+  const usize dpus = static_cast<usize>(cli.get_int("dpus", 8, "DPUs"));
+  const usize tasklets =
+      static_cast<usize>(cli.get_int("tasklets", 24, "tasklets per DPU"));
+  const double error_rate =
+      cli.get_double("error-rate", 0.02, "edit-distance threshold");
+  if (cli.help_requested()) {
+    std::cout << cli.help();
+    return 0;
+  }
+
+  const seq::ReadPairSet batch = seq::fig1_dataset(pairs, error_rate);
+  std::cout << "Aligning " << with_commas(pairs) << " pairs of 100bp reads"
+            << " (E=" << error_rate * 100 << "%) on " << dpus << " DPUs x "
+            << tasklets << " tasklets\n\n";
+
+  pim::PimOptions options;
+  options.system = upmem::SystemConfig::tiny(dpus);
+  options.nr_tasklets = tasklets;
+  pim::PimBatchAligner aligner(options);
+  const pim::PimBatchResult result =
+      aligner.align_batch(batch, align::AlignmentScope::kFull);
+
+  const pim::PimTimings& t = result.timings;
+  std::cout << "scatter : " << format_seconds(t.scatter_seconds) << "  ("
+            << format_bytes(t.bytes_to_device) << " to MRAM)\n";
+  std::cout << "kernel  : " << format_seconds(t.kernel_seconds) << "  ("
+            << with_commas(t.kernel_cycles_max) << " cycles on the slowest"
+            << " DPU)\n";
+  std::cout << "gather  : " << format_seconds(t.gather_seconds) << "  ("
+            << format_bytes(t.bytes_from_device) << " from MRAM)\n";
+  std::cout << "total   : " << format_seconds(t.total_seconds()) << "  => "
+            << with_commas(static_cast<u64>(static_cast<double>(pairs) /
+                                            t.total_seconds()))
+            << " pairs/s\n\n";
+  std::cout << "DPU work: " << with_commas(t.work.instructions)
+            << " instructions, " << with_commas(t.work.dma_calls)
+            << " DMA transfers (" << format_bytes(t.work.dma_bytes) << ")\n";
+
+  // Cross-check a few results against the host implementation.
+  cpu::CpuBatchAligner host({align::Penalties::defaults(), 1});
+  const seq::ReadPairSet sample_set(
+      {batch[0], batch[pairs / 2], batch[pairs - 1]});
+  const cpu::CpuBatchResult host_result =
+      host.align_batch(sample_set, align::AlignmentScope::kFull);
+  const usize indices[3] = {0, pairs / 2, pairs - 1};
+  for (usize i = 0; i < 3; ++i) {
+    const bool ok = result.results[indices[i]] == host_result.results[i];
+    std::cout << "pair " << indices[i] << ": score "
+              << result.results[indices[i]].score << ", CIGAR "
+              << result.results[indices[i]].cigar.to_rle()
+              << (ok ? "  (matches host WFA)" : "  (MISMATCH!)") << "\n";
+    if (!ok) return 1;
+  }
+  return 0;
+}

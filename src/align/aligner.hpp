@@ -1,0 +1,28 @@
+// Abstract pairwise-aligner interface. WFA, the DP baselines and the
+// PIM-backed batch aligners all speak this vocabulary, which is what makes
+// the cross-implementation equivalence tests and benches uniform.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "align/penalties.hpp"
+#include "align/result.hpp"
+
+namespace pimwfa::align {
+
+class PairAligner {
+ public:
+  virtual ~PairAligner() = default;
+
+  // Align `pattern` vs `text` end-to-end (global alignment) and return the
+  // gap-affine penalty (+ CIGAR if `scope` is kFull). Implementations must
+  // be reusable across calls (internal buffers may be recycled).
+  virtual AlignmentResult align(std::string_view pattern, std::string_view text,
+                                AlignmentScope scope) = 0;
+
+  // Human-readable implementation name for reports.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace pimwfa::align

@@ -1,0 +1,31 @@
+#include "align/penalties.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace pimwfa::align {
+
+void Penalties::validate() const {
+  PIMWFA_ARG_CHECK(mismatch > 0, "mismatch penalty must be > 0");
+  PIMWFA_ARG_CHECK(gap_open >= 0, "gap-open penalty must be >= 0");
+  PIMWFA_ARG_CHECK(gap_extend > 0, "gap-extend penalty must be > 0");
+}
+
+std::string Penalties::to_string() const {
+  return strprintf("x=%d,o=%d,e=%d", mismatch, gap_open, gap_extend);
+}
+
+i64 worst_case_score(const Penalties& penalties, usize pattern_length,
+                     usize text_length) {
+  const usize shorter = std::min(pattern_length, text_length);
+  const usize diff = std::max(pattern_length, text_length) - shorter;
+  i64 score = static_cast<i64>(shorter) * penalties.mismatch;
+  if (diff > 0) {
+    score += penalties.gap_open + static_cast<i64>(diff) * penalties.gap_extend;
+  }
+  return score;
+}
+
+}  // namespace pimwfa::align

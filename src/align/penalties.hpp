@@ -1,0 +1,44 @@
+// Gap-affine penalty model shared by every aligner in the repository.
+//
+// Scores are *penalties* (non-negative; lower is better): a match costs 0,
+// a mismatch costs `mismatch`, and a gap of length L costs
+// `gap_open + L * gap_extend`. This is the convention of the WFA paper
+// (Marco-Sola et al. 2021), whose default penalty set (x=4, o=6, e=2) is
+// the `defaults()` preset below and what the PIM paper's evaluation uses.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace pimwfa::align {
+
+struct Penalties {
+  i32 mismatch = 4;    // x > 0
+  i32 gap_open = 6;    // o >= 0
+  i32 gap_extend = 2;  // e > 0
+
+  // WFA-paper defaults (x=4, o=6, e=2).
+  static constexpr Penalties defaults() noexcept { return {4, 6, 2}; }
+
+  // Unit costs: affine model degenerate to Levenshtein edit distance
+  // (x=1, o=0, e=1).
+  static constexpr Penalties edit() noexcept { return {1, 0, 1}; }
+
+  // Throws InvalidArgument unless x>0, o>=0, e>0. (x==0 would make
+  // mismatches free and break WFA's score-monotonicity; e==0 would make
+  // arbitrarily long gaps cost o.)
+  void validate() const;
+
+  std::string to_string() const;
+
+  bool operator==(const Penalties&) const = default;
+};
+
+// Worst-case gap-affine score of aligning lengths (plen, tlen): all-mismatch
+// on the diagonal plus one gap covering the length difference. Useful as an
+// upper bound for buffer sizing.
+i64 worst_case_score(const Penalties& penalties, usize pattern_length,
+                     usize text_length);
+
+}  // namespace pimwfa::align

@@ -1,0 +1,22 @@
+// Alignment result types shared by all aligners.
+#pragma once
+
+#include "common/types.hpp"
+#include "seq/cigar.hpp"
+
+namespace pimwfa::align {
+
+enum class AlignmentScope {
+  kScoreOnly,  // compute the score, skip the backtrace
+  kFull,       // score + CIGAR
+};
+
+struct AlignmentResult {
+  i64 score = 0;         // gap-affine penalty (lower is better)
+  seq::Cigar cigar;      // empty when scope == kScoreOnly
+  bool has_cigar = false;
+
+  bool operator==(const AlignmentResult&) const = default;
+};
+
+}  // namespace pimwfa::align

@@ -1,0 +1,33 @@
+#include "align/verify.hpp"
+
+#include "common/check.hpp"
+
+namespace pimwfa::align {
+
+void verify_result(const AlignmentResult& result, std::string_view pattern,
+                   std::string_view text, const Penalties& penalties) {
+  if (result.has_cigar) {
+    result.cigar.validate(pattern, text);
+    const i64 cigar_score = result.cigar.affine_score(
+        penalties.mismatch, penalties.gap_open, penalties.gap_extend);
+    PIMWFA_CHECK(cigar_score == result.score,
+                 "CIGAR score " << cigar_score << " != reported score "
+                                << result.score << " (cigar="
+                                << result.cigar.to_rle() << ")");
+  }
+  PIMWFA_CHECK(result.score >= 0, "negative gap-affine penalty "
+                                      << result.score);
+}
+
+bool result_is_consistent(const AlignmentResult& result,
+                          std::string_view pattern, std::string_view text,
+                          const Penalties& penalties) noexcept {
+  try {
+    verify_result(result, pattern, text, penalties);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace pimwfa::align

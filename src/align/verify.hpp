@@ -1,0 +1,24 @@
+// Verification helpers: check that an AlignmentResult is internally
+// consistent (CIGAR valid for the pair, CIGAR score equals reported score)
+// and that it is *optimal* by comparison against a trusted reference score.
+#pragma once
+
+#include <string_view>
+
+#include "align/penalties.hpp"
+#include "align/result.hpp"
+
+namespace pimwfa::align {
+
+// Throws Error with a diagnostic when the result is inconsistent:
+//  - result.has_cigar but CIGAR doesn't align pattern/text, or
+//  - CIGAR's affine score != result.score.
+void verify_result(const AlignmentResult& result, std::string_view pattern,
+                   std::string_view text, const Penalties& penalties);
+
+// Convenience: returns false instead of throwing.
+bool result_is_consistent(const AlignmentResult& result,
+                          std::string_view pattern, std::string_view text,
+                          const Penalties& penalties) noexcept;
+
+}  // namespace pimwfa::align

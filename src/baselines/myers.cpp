@@ -1,0 +1,151 @@
+#include "baselines/myers.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace pimwfa::baselines {
+namespace {
+
+constexpr usize kWordBits = 64;
+
+// Single-word Myers (pattern length <= 64), global distance variant: the
+// horizontal input delta at row 0 is +1 for every text column.
+i64 myers_short(std::string_view pattern, std::string_view text) {
+  const usize m = pattern.size();
+  PIMWFA_DCHECK(m >= 1 && m <= kWordBits);
+  std::array<u64, 256> peq{};
+  for (usize i = 0; i < m; ++i) {
+    peq[static_cast<u8>(pattern[i])] |= u64{1} << i;
+  }
+  const u64 top = u64{1} << (m - 1);
+  u64 pv = ~u64{0};
+  u64 mv = 0;
+  i64 score = static_cast<i64>(m);
+  for (char c : text) {
+    const u64 eq = peq[static_cast<u8>(c)];
+    const u64 xv = eq | mv;
+    const u64 xh = (((eq & pv) + pv) ^ pv) | eq;
+    u64 ph = mv | ~(xh | pv);
+    u64 mh = pv & xh;
+    if (ph & top) ++score;
+    else if (mh & top) --score;
+    ph = (ph << 1) | 1;  // +1 horizontal delta entering row 0 (global)
+    mh <<= 1;
+    pv = mh | ~(xv | ph);
+    mv = ph & xv;
+  }
+  return score;
+}
+
+// Block-based Myers for arbitrary pattern lengths.
+i64 myers_long(std::string_view pattern, std::string_view text) {
+  const usize m = pattern.size();
+  const usize blocks = (m + kWordBits - 1) / kWordBits;
+  std::vector<std::array<u64, 256>> peq(blocks);
+  for (auto& table : peq) table.fill(0);
+  for (usize i = 0; i < m; ++i) {
+    peq[i / kWordBits][static_cast<u8>(pattern[i])] |= u64{1}
+                                                       << (i % kWordBits);
+  }
+  const usize last = blocks - 1;
+  const u64 top = u64{1} << ((m - 1) % kWordBits);
+
+  std::vector<u64> pv(blocks, ~u64{0});
+  std::vector<u64> mv(blocks, 0);
+  i64 score = static_cast<i64>(m);
+  for (char c : text) {
+    u64 ph_in = 1;  // +1 entering row 0 (global alignment)
+    u64 mh_in = 0;
+    for (usize b = 0; b < blocks; ++b) {
+      const u64 eq = peq[b][static_cast<u8>(c)];
+      const u64 eq_in = eq | mh_in;
+      const u64 xv = eq | mv[b];
+      const u64 xh = (((eq_in & pv[b]) + pv[b]) ^ pv[b]) | eq_in;
+      u64 ph = mv[b] | ~(xh | pv[b]);
+      u64 mh = pv[b] & xh;
+      if (b == last) {
+        if (ph & top) ++score;
+        else if (mh & top) --score;
+      }
+      const u64 ph_out = ph >> (kWordBits - 1);
+      const u64 mh_out = mh >> (kWordBits - 1);
+      ph = (ph << 1) | ph_in;
+      mh = (mh << 1) | mh_in;
+      pv[b] = mh | ~(xv | ph);
+      mv[b] = ph & xv;
+      ph_in = ph_out;
+      mh_in = mh_out;
+    }
+  }
+  return score;
+}
+
+}  // namespace
+
+i64 myers_edit_distance(std::string_view pattern, std::string_view text) {
+  if (pattern.empty()) return static_cast<i64>(text.size());
+  if (text.empty()) return static_cast<i64>(pattern.size());
+  return pattern.size() <= kWordBits ? myers_short(pattern, text)
+                                     : myers_long(pattern, text);
+}
+
+i64 banded_edit_distance(std::string_view pattern, std::string_view text,
+                         i64 threshold) {
+  PIMWFA_ARG_CHECK(threshold >= 0, "threshold must be non-negative");
+  const i64 plen = static_cast<i64>(pattern.size());
+  const i64 tlen = static_cast<i64>(text.size());
+  if (std::abs(plen - tlen) > threshold) return threshold + 1;
+
+  // Band over diagonals k = j - i in [-threshold, threshold].
+  const i64 width = 2 * threshold + 1;
+  const i64 big = threshold + 1;
+  std::vector<i64> prev(static_cast<usize>(width), big);
+  std::vector<i64> row(static_cast<usize>(width), big);
+  // Row 0: D[0][j] = j for j <= threshold.
+  for (i64 k = 0; k <= threshold; ++k) prev[static_cast<usize>(k + threshold)] = k;
+
+  for (i64 i = 1; i <= plen; ++i) {
+    std::fill(row.begin(), row.end(), big);
+    const i64 j_min = std::max<i64>(0, i - threshold);
+    const i64 j_max = std::min(tlen, i + threshold);
+    for (i64 j = j_min; j <= j_max; ++j) {
+      const i64 k = j - i;
+      const usize c = static_cast<usize>(k + threshold);
+      i64 best = big;
+      if (j > 0 && k - 1 >= -threshold) best = std::min(best, row[c - 1] + 1);
+      if (k + 1 <= threshold) best = std::min(best, prev[c + 1] + 1);
+      if (j > 0) {
+        const i64 sub = prev[c] + (pattern[static_cast<usize>(i - 1)] ==
+                                           text[static_cast<usize>(j - 1)]
+                                       ? 0
+                                       : 1);
+        best = std::min(best, sub);
+      } else {
+        best = std::min(best, i);  // first column: D[i][0] = i
+      }
+      row[c] = std::min(best, big);
+    }
+    std::swap(row, prev);
+  }
+  const i64 result = prev[static_cast<usize>((tlen - plen) + threshold)];
+  return std::min(result, big);
+}
+
+i64 ukkonen_edit_distance(std::string_view pattern, std::string_view text) {
+  if (pattern.empty()) return static_cast<i64>(text.size());
+  if (text.empty()) return static_cast<i64>(pattern.size());
+  i64 threshold = 1;
+  const i64 max_distance =
+      static_cast<i64>(std::max(pattern.size(), text.size()));
+  while (true) {
+    const i64 distance = banded_edit_distance(pattern, text, threshold);
+    if (distance <= threshold) return distance;
+    if (threshold >= max_distance) return distance;
+    threshold = std::min(threshold * 2, max_distance);
+  }
+}
+
+}  // namespace pimwfa::baselines

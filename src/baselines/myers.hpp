@@ -1,0 +1,28 @@
+// Bit-parallel Levenshtein distance (Myers 1999, block-based extension per
+// Hyyro 2003) and Ukkonen's doubling banded edit-distance algorithm.
+//
+// These are the fast *edit-distance* baselines: the PIM paper's future work
+// names "PIM implementations of other alignment algorithms" as comparison
+// targets, and Myers/Ukkonen are the standard unit-cost contenders.
+#pragma once
+
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace pimwfa::baselines {
+
+// Exact global Levenshtein distance via Myers' bit-parallel algorithm.
+// Works for any pattern length (multi-word blocks above 64).
+i64 myers_edit_distance(std::string_view pattern, std::string_view text);
+
+// Ukkonen's banded edit distance with threshold doubling: runs the banded
+// DP with t = 1, 2, 4, ... until distance <= t; O(d*n) total.
+i64 ukkonen_edit_distance(std::string_view pattern, std::string_view text);
+
+// Single banded pass: Levenshtein distance if it is <= threshold, otherwise
+// returns threshold+1 (meaning "greater than threshold").
+i64 banded_edit_distance(std::string_view pattern, std::string_view text,
+                         i64 threshold);
+
+}  // namespace pimwfa::baselines

@@ -1,0 +1,31 @@
+// Needleman-Wunsch global alignment with *linear* gap costs (penalty
+// minimization: mismatch x, per-base gap g). Included as the classical
+// pre-affine baseline; also the reference for the edit-distance aligners
+// when x=1, g=1.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "align/result.hpp"
+#include "common/types.hpp"
+
+namespace pimwfa::baselines {
+
+struct LinearPenalties {
+  i32 mismatch = 1;
+  i32 gap = 1;
+};
+
+// Full alignment (score + CIGAR).
+align::AlignmentResult nw_align(std::string_view pattern, std::string_view text,
+                                const LinearPenalties& penalties = {});
+
+// Score only, O(min(m,n)) memory.
+i64 nw_score(std::string_view pattern, std::string_view text,
+             const LinearPenalties& penalties = {});
+
+// Plain Levenshtein distance (x=1, g=1 shortcut).
+i64 levenshtein(std::string_view a, std::string_view b);
+
+}  // namespace pimwfa::baselines

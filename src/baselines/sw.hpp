@@ -1,0 +1,37 @@
+// Smith-Waterman-Gotoh local alignment (score maximization with affine
+// gaps). Used by the read-mapper example to rescue clipped candidates, and
+// exercised by the algorithm-comparison bench. Local alignment needs a
+// positive match bonus, so it has its own scoring struct.
+#pragma once
+
+#include <string_view>
+
+#include "common/types.hpp"
+#include "seq/cigar.hpp"
+
+namespace pimwfa::baselines {
+
+struct LocalScoring {
+  i32 match = 2;        // > 0
+  i32 mismatch = -4;    // < 0
+  i32 gap_open = -4;    // <= 0 (charged once per gap)
+  i32 gap_extend = -2;  // < 0 (charged per gap base)
+};
+
+struct LocalAlignment {
+  i64 score = 0;
+  // Half-open spans of the aligned region in each sequence.
+  usize pattern_begin = 0;
+  usize pattern_end = 0;
+  usize text_begin = 0;
+  usize text_end = 0;
+  // CIGAR of the aligned region only (no clips encoded).
+  seq::Cigar cigar;
+};
+
+// Best local alignment; empty alignment (score 0) when nothing positive
+// exists.
+LocalAlignment sw_align(std::string_view pattern, std::string_view text,
+                        const LocalScoring& scoring = {});
+
+}  // namespace pimwfa::baselines

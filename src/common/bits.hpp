@@ -1,0 +1,38 @@
+// Bit/alignment utilities shared by the sequence packers, the slab
+// allocators and the UPMEM memory simulator.
+#pragma once
+
+#include <bit>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace pimwfa {
+
+// True if x is a power of two (0 is not).
+constexpr bool is_pow2(u64 x) noexcept { return x != 0 && (x & (x - 1)) == 0; }
+
+// Round x up to the next multiple of `align` (align must be a power of two).
+constexpr u64 round_up_pow2(u64 x, u64 align) noexcept {
+  return (x + align - 1) & ~(align - 1);
+}
+
+// Round x down to a multiple of `align` (align must be a power of two).
+constexpr u64 round_down_pow2(u64 x, u64 align) noexcept {
+  return x & ~(align - 1);
+}
+
+// True if x is a multiple of `align` (align must be a power of two).
+constexpr bool is_aligned_pow2(u64 x, u64 align) noexcept {
+  return (x & (align - 1)) == 0;
+}
+
+// Ceiling division for non-negative integers.
+constexpr u64 ceil_div(u64 a, u64 b) noexcept { return (a + b - 1) / b; }
+
+// Number of bits needed to represent values in [0, n).
+constexpr u32 bits_for(u64 n) noexcept {
+  return n <= 1 ? 0 : static_cast<u32>(std::bit_width(n - 1));
+}
+
+}  // namespace pimwfa

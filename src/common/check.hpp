@@ -1,0 +1,42 @@
+// Contract-checking macros.
+//
+//   PIMWFA_CHECK(cond, msg)  - always-on check; throws pimwfa::Error.
+//   PIMWFA_ARG_CHECK(...)    - same but throws InvalidArgument (public APIs).
+//   PIMWFA_HW_CHECK(...)     - same but throws HardwareFault (simulator).
+//   PIMWFA_DCHECK(cond)      - debug-only internal invariant (assert-style).
+#pragma once
+
+#include <cassert>
+#include <sstream>
+
+#include "common/error.hpp"
+
+#define PIMWFA_CHECK(cond, msg)                                          \
+  do {                                                                   \
+    if (!(cond)) [[unlikely]] {                                          \
+      std::ostringstream oss_;                                           \
+      oss_ << "check failed: " << #cond << " @ " << __FILE__ << ":"      \
+           << __LINE__ << ": " << msg;                                   \
+      throw ::pimwfa::Error(oss_.str());                                 \
+    }                                                                    \
+  } while (0)
+
+#define PIMWFA_ARG_CHECK(cond, msg)                                      \
+  do {                                                                   \
+    if (!(cond)) [[unlikely]] {                                          \
+      std::ostringstream oss_;                                           \
+      oss_ << "invalid argument: " << msg << " (" << #cond << ")";       \
+      throw ::pimwfa::InvalidArgument(oss_.str());                       \
+    }                                                                    \
+  } while (0)
+
+#define PIMWFA_HW_CHECK(cond, msg)                                       \
+  do {                                                                   \
+    if (!(cond)) [[unlikely]] {                                          \
+      std::ostringstream oss_;                                           \
+      oss_ << "hardware fault: " << msg << " (" << #cond << ")";         \
+      throw ::pimwfa::HardwareFault(oss_.str());                         \
+    }                                                                    \
+  } while (0)
+
+#define PIMWFA_DCHECK(cond) assert(cond)

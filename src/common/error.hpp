@@ -1,0 +1,36 @@
+// Error type thrown by pimwfa libraries on contract violations and I/O
+// failures. Library code never calls abort()/exit(); callers decide policy.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pimwfa {
+
+// Base class for all pimwfa errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Invalid argument passed to a public API.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+// I/O failure (file not found, parse error, short read...).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+// A simulated hardware constraint was violated (DMA alignment, memory
+// bounds, WRAM exhaustion...). On real UPMEM hardware these are silent
+// corruption or a DPU fault; the simulator turns them into typed errors.
+class HardwareFault : public Error {
+ public:
+  explicit HardwareFault(const std::string& what) : Error(what) {}
+};
+
+}  // namespace pimwfa

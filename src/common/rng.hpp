@@ -1,0 +1,81 @@
+// Deterministic, fast pseudo-random number generation (SplitMix64 seeding +
+// xoshiro256**). Used by workload generators and property tests; determinism
+// across platforms matters more than statistical perfection here.
+#pragma once
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace pimwfa {
+
+// SplitMix64: used to expand a single seed into xoshiro state.
+constexpr u64 splitmix64(u64& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** 1.0 (Blackman & Vigna). Small, fast, 2^256-1 period.
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x5eedULL) noexcept { reseed(seed); }
+
+  void reseed(u64 seed) noexcept {
+    u64 sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  u64 next_u64() noexcept {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  u64 next_below(u64 bound) noexcept {
+    PIMWFA_DCHECK(bound > 0);
+    // Lemire's multiply-shift rejection method.
+    u64 x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    u64 lo = static_cast<u64>(m);
+    if (lo < bound) {
+      const u64 threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<u64>(m);
+      }
+    }
+    return static_cast<u64>(m >> 64);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  i64 next_range(i64 lo, i64 hi) noexcept {
+    PIMWFA_DCHECK(lo <= hi);
+    return lo + static_cast<i64>(next_below(static_cast<u64>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool next_bool(double p_true) noexcept { return next_double() < p_true; }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  u64 state_[4]{};
+};
+
+}  // namespace pimwfa

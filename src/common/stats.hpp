@@ -1,0 +1,123 @@
+// Streaming statistics accumulators used by benchmark harnesses and the
+// simulator's performance counters.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace pimwfa {
+
+// Welford online mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = count_ == 1 ? x : std::min(min_, x);
+    max_ = count_ == 1 ? x : std::max(max_, x);
+  }
+
+  u64 count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+  double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+
+  void merge(const RunningStats& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(count_ + other.count_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                           static_cast<double>(other.count_) / total;
+    mean_ += delta * static_cast<double>(other.count_) / total;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ += other.count_;
+  }
+
+ private:
+  u64 count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Stores all samples; supports exact quantiles. Suitable for the modest
+// sample counts produced by the bench harnesses.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  usize size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  // q in [0,1]; nearest-rank quantile.
+  double quantile(double q) const {
+    PIMWFA_CHECK(!samples_.empty(), "quantile of empty SampleSet");
+    PIMWFA_ARG_CHECK(q >= 0.0 && q <= 1.0, "quantile q out of [0,1]");
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const usize idx = static_cast<usize>(
+        std::min<double>(static_cast<double>(sorted.size() - 1),
+                         std::floor(q * static_cast<double>(sorted.size()))));
+    return sorted[idx];
+  }
+
+  double median() const { return quantile(0.5); }
+
+  double mean() const {
+    PIMWFA_CHECK(!samples_.empty(), "mean of empty SampleSet");
+    double total = 0.0;
+    for (double s : samples_) total += s;
+    return total / static_cast<double>(samples_.size());
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+// Fixed-bucket histogram over [lo, hi) for integer-ish metrics (scores,
+// wavefront sizes...). Out-of-range samples clamp to the edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, usize buckets)
+      : lo_(lo), hi_(hi), counts_(buckets, 0) {
+    PIMWFA_ARG_CHECK(buckets > 0, "histogram needs at least one bucket");
+    PIMWFA_ARG_CHECK(hi > lo, "histogram range must be non-empty");
+  }
+
+  void add(double x) noexcept {
+    const double t = (x - lo_) / (hi_ - lo_);
+    i64 idx = static_cast<i64>(t * static_cast<double>(counts_.size()));
+    idx = std::clamp<i64>(idx, 0, static_cast<i64>(counts_.size()) - 1);
+    ++counts_[static_cast<usize>(idx)];
+    ++total_;
+  }
+
+  u64 bucket(usize i) const { return counts_.at(i); }
+  usize buckets() const noexcept { return counts_.size(); }
+  u64 total() const noexcept { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<u64> counts_;
+  u64 total_ = 0;
+};
+
+}  // namespace pimwfa

@@ -1,0 +1,93 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace pimwfa {
+
+std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  usize start = 0;
+  while (true) {
+    const usize pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) {
+  usize begin = 0;
+  usize end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (usize i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string with_commas(u64 value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const usize n = digits.size();
+  for (usize i = 0; i < n; ++i) {
+    if (i != 0 && (n - i) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string format_bytes(u64 bytes) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  usize unit = 0;
+  while (value >= 1024.0 && unit + 1 < std::size(kUnits)) {
+    value /= 1024.0;
+    ++unit;
+  }
+  return unit == 0 ? strprintf("%llu B", static_cast<unsigned long long>(bytes))
+                   : strprintf("%.2f %s", value, kUnits[unit]);
+}
+
+std::string format_seconds(double seconds) {
+  if (seconds < 0) return "-" + format_seconds(-seconds);
+  if (seconds < 1e-6) return strprintf("%.0f ns", seconds * 1e9);
+  if (seconds < 1e-3) return strprintf("%.2f us", seconds * 1e6);
+  if (seconds < 1.0) return strprintf("%.2f ms", seconds * 1e3);
+  return strprintf("%.3f s", seconds);
+}
+
+std::string strprintf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(needed > 0 ? static_cast<usize>(needed) : 0, '\0');
+  if (needed > 0) {
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace pimwfa

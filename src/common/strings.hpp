@@ -1,0 +1,36 @@
+// Small string helpers used by I/O, CLI parsing and report formatting.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pimwfa {
+
+// Split `text` on `delim`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char delim);
+
+// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+// "1234567" -> "1,234,567" (for human-readable reports).
+std::string with_commas(u64 value);
+
+// Format bytes as "1.5 KiB" / "3.2 MiB" etc.
+std::string format_bytes(u64 bytes);
+
+// Format seconds adaptively: "123 ns", "4.56 us", "7.89 ms", "1.23 s".
+std::string format_seconds(double seconds);
+
+// printf-style formatting into a std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace pimwfa

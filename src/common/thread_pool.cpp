@@ -1,0 +1,89 @@
+#include "common/thread_pool.hpp"
+
+#include <exception>
+
+#include "common/check.hpp"
+
+namespace pimwfa {
+
+ThreadPool::ThreadPool(usize threads) {
+  PIMWFA_ARG_CHECK(threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(threads);
+  for (usize i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard lock(mutex_);
+    PIMWFA_CHECK(!stop_, "submit on stopped thread pool");
+    queue_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(usize n,
+                              const std::function<void(usize, usize)>& body) {
+  if (n == 0) return;
+  const usize chunks = std::min(n, workers_.size());
+  const usize chunk = n / chunks;
+  const usize rem = n % chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  usize begin = 0;
+  for (usize c = 0; c < chunks; ++c) {
+    const usize len = chunk + (c < rem ? 1 : 0);
+    const usize end = begin + len;
+    futures.push_back(submit([&body, begin, end] { body(begin, end); }));
+    begin = end;
+  }
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ was set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop();
+      ++in_flight_;
+    }
+    task();  // packaged_task traps exceptions into the future
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace pimwfa

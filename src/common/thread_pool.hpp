@@ -1,0 +1,53 @@
+// Minimal fixed-size thread pool with a blocking task queue and a
+// parallel_for helper. Used by the CPU batch aligner and by the host-side
+// scatter/gather paths of the PIM simulator.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pimwfa {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (>=1). Workers exit on destruction after the
+  // queue drains.
+  explicit ThreadPool(usize threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  usize size() const noexcept { return workers_.size(); }
+
+  // Enqueue a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  // Block until all submitted tasks have finished.
+  void wait_idle();
+
+  // Statically partition [0, n) into ~`size()` chunks and run
+  // body(begin, end) on the pool; blocks until done. Exceptions from the
+  // body are rethrown (first one wins).
+  void parallel_for(usize n, const std::function<void(usize, usize)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  usize in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace pimwfa

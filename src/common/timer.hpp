@@ -1,0 +1,28 @@
+// Monotonic wall-clock timing helpers.
+#pragma once
+
+#include <chrono>
+
+namespace pimwfa {
+
+// Simple monotonic stopwatch. Starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  // Elapsed seconds since construction / last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pimwfa

@@ -1,0 +1,45 @@
+#include "cpu/cpu_batch.hpp"
+
+#include <mutex>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+#include "wfa/wfa_aligner.hpp"
+
+namespace pimwfa::cpu {
+
+CpuBatchAligner::CpuBatchAligner(CpuBatchOptions options)
+    : options_(options) {
+  options_.penalties.validate();
+  PIMWFA_ARG_CHECK(options_.threads >= 1, "need at least one thread");
+}
+
+CpuBatchResult CpuBatchAligner::align_batch(const seq::ReadPairSet& batch,
+                                            align::AlignmentScope scope) const {
+  CpuBatchResult out;
+  out.results.resize(batch.size());
+  std::mutex merge_mutex;
+
+  auto worker = [&](usize begin, usize end) {
+    wfa::WfaAligner aligner{options_.penalties};
+    for (usize i = begin; i < end; ++i) {
+      out.results[i] = aligner.align(batch[i].pattern, batch[i].text, scope);
+    }
+    std::lock_guard lock(merge_mutex);
+    out.work.merge(aligner.counters());
+    out.allocator_high_water =
+        std::max(out.allocator_high_water, aligner.allocator().high_water());
+  };
+
+  WallTimer timer;
+  if (options_.threads == 1) {
+    worker(0, batch.size());
+  } else {
+    ThreadPool pool(options_.threads);
+    pool.parallel_for(batch.size(), worker);
+  }
+  out.seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace pimwfa::cpu

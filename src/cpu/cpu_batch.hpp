@@ -1,0 +1,43 @@
+// Multi-threaded CPU batch aligner: the baseline side of the paper's
+// Fig. 1 ("original WFA implementation executed on a server-grade CPU").
+// Each worker thread runs an independent WfaAligner over a static share of
+// the batch, exactly like the multi-threaded driver of WFA's benchmark
+// tool. Wall time is measured, not modeled; projecting the measurement to
+// the paper's 56-thread Xeon is ScalingModel's job.
+#pragma once
+
+#include <vector>
+
+#include "align/aligner.hpp"
+#include "common/thread_pool.hpp"
+#include "seq/dataset.hpp"
+#include "wfa/wavefront.hpp"
+
+namespace pimwfa::cpu {
+
+struct CpuBatchOptions {
+  align::Penalties penalties = align::Penalties::defaults();
+  usize threads = 1;
+};
+
+struct CpuBatchResult {
+  std::vector<align::AlignmentResult> results;
+  double seconds = 0;           // measured wall time of the alignment loop
+  wfa::WfaCounters work;        // merged over threads
+  u64 allocator_high_water = 0; // max wavefront arena bytes over threads
+};
+
+class CpuBatchAligner {
+ public:
+  explicit CpuBatchAligner(CpuBatchOptions options);
+
+  CpuBatchResult align_batch(const seq::ReadPairSet& batch,
+                             align::AlignmentScope scope) const;
+
+  const CpuBatchOptions& options() const noexcept { return options_; }
+
+ private:
+  CpuBatchOptions options_;
+};
+
+}  // namespace pimwfa::cpu

@@ -1,0 +1,57 @@
+// Instruction-cost table for the WFA DPU kernel.
+//
+// The simulator executes kernels natively and charges DPU instructions via
+// these per-operation constants (DMA cycles are charged separately by the
+// DMA engine). Each constant is derived by hand-counting the arithmetic of
+// the corresponding inner loop as the UPMEM 32-bit RISC ISA would execute
+// it (loads/stores to WRAM are single instructions; there is no SIMD - the
+// paper removes vectorization from the PIM version).
+//
+// The MRAM-policy constants are higher than the WRAM-policy ones because
+// every wavefront access goes through a staging-window bookkeeping check
+// (range compare + possible refill branch) even when it hits.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace pimwfa::pim {
+
+struct KernelCosts {
+  // One wavefront cell (all three components M/I/D at one diagonal).
+  // Per component on the single-issue 32-bit core: ~2 staged-window reads
+  // (range check + index math + load, ~6 instr each), max/select, trim
+  // compares, add, windowed store (~6 instr) => ~30 instr; x3 components
+  // plus loop bookkeeping.
+  u64 cell = 90;
+  // Extra window bookkeeping per cell under the MRAM metadata policy
+  // (range checks on hit paths).
+  u64 cell_mram_extra = 30;
+
+  // One extension probe (compare pattern[v] vs text[h]): window get,
+  // 2 WRAM loads with bounds checks, compare, branch, increments.
+  u64 extend_probe = 12;
+  // Per additional matched base inside the extension loop.
+  u64 extend_match = 6;
+
+  // One backtrace iteration (candidate reconstruction + op emission).
+  u64 backtrace_step = 60;
+  // Per emitted CIGAR byte (store + pointer bump).
+  u64 cigar_byte = 3;
+
+  // Per-score-step overhead (descriptor handling, bound updates).
+  u64 score_step = 100;
+
+  // Per-pair fixed overhead (loop control, result packing, allocator
+  // reset).
+  u64 per_pair = 500;
+
+  // Per allocation from the metadata arena (bump + alignment fixup).
+  u64 alloc = 8;
+
+  // Per descriptor-cache lookup (hash + tag compare).
+  u64 desc_lookup = 6;
+};
+
+inline constexpr KernelCosts kDefaultKernelCosts{};
+
+}  // namespace pimwfa::pim

@@ -1,0 +1,35 @@
+// The WFA DPU kernel - the PIM port of the wavefront algorithm described
+// in the paper.
+//
+// Each tasklet independently processes pairs me(), me()+T, me()+2T, ... of
+// its DPU's batch (no inter-tasklet synchronization, as in the paper):
+//   1. DMA the read pair from MRAM into WRAM buffers,
+//   2. run gap-affine WFA with all wavefront metadata managed by MetaSpace
+//      (MRAM-resident + staged on demand, or WRAM-resident, per policy),
+//   3. write score (and CIGAR, in full-alignment batches) back to MRAM.
+//
+// The algorithm (recurrences, trimming, backtrace tie-breaking) mirrors
+// wfa::WfaAligner operation for operation - the paper applies "no
+// optimizations compared to the original WFA implementation" - so host and
+// DPU results are bit-identical, which the integration tests assert.
+#pragma once
+
+#include "pim/cost_table.hpp"
+#include "pim/layout.hpp"
+#include "pim/meta_space.hpp"
+#include "upmem/kernel.hpp"
+
+namespace pimwfa::pim {
+
+class WfaDpuKernel final : public upmem::DpuKernel {
+ public:
+  explicit WfaDpuKernel(const KernelCosts& costs = kDefaultKernelCosts)
+      : costs_(costs) {}
+
+  void run(upmem::TaskletCtx& ctx) override;
+
+ private:
+  KernelCosts costs_;
+};
+
+}  // namespace pimwfa::pim

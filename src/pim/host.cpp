@@ -1,0 +1,168 @@
+#include "pim/host.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+#include "pim/dpu_wfa_kernel.hpp"
+#include "seq/packed.hpp"
+
+namespace pimwfa::pim {
+
+PimBatchAligner::PimBatchAligner(PimOptions options)
+    : options_(std::move(options)) {
+  options_.system.validate();
+  options_.penalties.validate();
+  PIMWFA_ARG_CHECK(options_.nr_tasklets >= 1 &&
+                       options_.nr_tasklets <= options_.system.max_tasklets,
+                   "tasklet count outside the DPU's range");
+}
+
+std::pair<usize, usize> PimBatchAligner::dpu_pair_range(usize n, usize nr_dpus,
+                                                        usize d) {
+  const usize base = n / nr_dpus;
+  const usize rem = n % nr_dpus;
+  const usize begin = d * base + std::min(d, rem);
+  const usize count = base + (d < rem ? 1 : 0);
+  return {begin, begin + count};
+}
+
+PimBatchResult PimBatchAligner::align_batch(const seq::ReadPairSet& batch,
+                                            align::AlignmentScope scope,
+                                            ThreadPool* pool) {
+  const usize logical = options_.system.nr_dpus();
+  const usize simulated = options_.simulate_dpus == 0
+                              ? logical
+                              : std::min(options_.simulate_dpus, logical);
+  upmem::PimSystem system(options_.system, simulated);
+
+  const bool full = scope == align::AlignmentScope::kFull;
+  const usize max_pattern = batch.max_pattern_length();
+  const usize max_text = batch.max_text_length();
+  // Virtual batches: distribution is computed over `virtual_n` pairs, but
+  // only the simulated DPUs' pairs exist in `batch`.
+  const usize virtual_n =
+      options_.virtual_total_pairs == 0 ? batch.size()
+                                        : options_.virtual_total_pairs;
+  PIMWFA_ARG_CHECK(virtual_n >= batch.size(),
+                   "virtual_total_pairs below the materialized batch");
+  if (options_.virtual_total_pairs != 0) {
+    const auto [last_begin, last_end] =
+        dpu_pair_range(virtual_n, logical, simulated - 1);
+    (void)last_begin;
+    PIMWFA_ARG_CHECK(batch.size() >= last_end,
+                     "batch does not cover the simulated DPUs' share ("
+                         << last_end << " pairs needed, " << batch.size()
+                         << " provided)");
+  }
+
+  // Plan per-DPU layouts. Strides depend only on global maxima; the pair
+  // count differs by at most one across DPUs.
+  auto layout_for = [&](usize nr_pairs) {
+    BatchLayout::Params params;
+    params.nr_pairs = nr_pairs;
+    params.nr_tasklets = options_.nr_tasklets;
+    params.max_pattern = max_pattern;
+    params.max_text = max_text;
+    params.penalties = options_.penalties;
+    params.full_alignment = full;
+    params.policy = options_.policy;
+    params.packed_sequences = options_.packed_sequences;
+    params.max_score = options_.max_score;
+    return BatchLayout::plan(params, options_.system.mram_bytes);
+  };
+
+  // --- scatter ---------------------------------------------------------
+  // Simulated DPUs get real data; the rest contribute transfer bytes only.
+  {
+    std::vector<u8> record;
+    for (usize d = 0; d < simulated; ++d) {
+      const auto [begin, end] = dpu_pair_range(virtual_n, logical, d);
+      const BatchLayout layout = layout_for(end - begin);
+      const BatchHeader& h = layout.header();
+      system.copy_to_mram(
+          d, 0,
+          {reinterpret_cast<const u8*>(&h), sizeof(BatchHeader)});
+      record.assign(static_cast<usize>(h.pair_stride), 0);
+      for (usize p = begin; p < end; ++p) {
+        const seq::ReadPair& pair = batch[p];
+        const u32 lens[2] = {static_cast<u32>(pair.pattern.size()),
+                             static_cast<u32>(pair.text.size())};
+        std::memcpy(record.data(), lens, 8);
+        if (options_.packed_sequences) {
+          seq::PackedSequence::pack_into(pair.pattern, record.data() + 8);
+          seq::PackedSequence::pack_into(
+              pair.text, record.data() + 8 + layout.pattern_field_bytes());
+        } else {
+          std::memcpy(record.data() + 8, pair.pattern.data(),
+                      pair.pattern.size());
+          std::memcpy(record.data() + 8 + layout.pattern_field_bytes(),
+                      pair.text.data(), pair.text.size());
+        }
+        system.copy_to_mram(d, layout.pair_addr(p - begin), record);
+      }
+    }
+    for (usize d = simulated; d < logical; ++d) {
+      const auto [begin, end] = dpu_pair_range(virtual_n, logical, d);
+      const BatchLayout layout = layout_for(end - begin);
+      system.account_to_device(sizeof(BatchHeader) + layout.pairs_bytes());
+    }
+  }
+
+  // --- launch ----------------------------------------------------------
+  const KernelCosts costs = options_.costs;
+  const upmem::LaunchStats launch = system.launch_all(
+      [&costs](usize) { return std::make_unique<WfaDpuKernel>(costs); },
+      options_.nr_tasklets, pool);
+
+  // --- gather ----------------------------------------------------------
+  PimBatchResult out;
+  {
+    std::vector<u8> record;
+    for (usize d = 0; d < simulated; ++d) {
+      const auto [begin, end] = dpu_pair_range(virtual_n, logical, d);
+      const BatchLayout layout = layout_for(end - begin);
+      record.resize(static_cast<usize>(layout.header().result_stride));
+      for (usize p = begin; p < end; ++p) {
+        system.copy_from_mram(d, layout.result_addr(p - begin), record);
+        u32 head[2];
+        std::memcpy(head, record.data(), 8);
+        align::AlignmentResult result;
+        result.score = static_cast<i64>(head[0]);
+        if (full) {
+          const usize len = head[1];
+          PIMWFA_CHECK(8 + len <= record.size(),
+                       "DPU result CIGAR overruns its record");
+          result.cigar = seq::Cigar::from_ops(std::string(
+              reinterpret_cast<const char*>(record.data() + 8), len));
+          result.has_cigar = true;
+        }
+        out.results.push_back(std::move(result));
+      }
+    }
+    for (usize d = simulated; d < logical; ++d) {
+      const auto [begin, end] = dpu_pair_range(virtual_n, logical, d);
+      const BatchLayout layout = layout_for(end - begin);
+      system.account_from_device(layout.results_bytes());
+    }
+  }
+
+  // --- timings ---------------------------------------------------------
+  PimTimings& t = out.timings;
+  t.scatter_seconds = system.scatter_seconds();
+  t.kernel_seconds = launch.kernel_seconds(options_.system);
+  t.gather_seconds = system.gather_seconds();
+  t.kernel_cycles_max = launch.max_cycles;
+  t.kernel_cycles_total = launch.total_cycles;
+  t.bytes_to_device = system.to_device().bytes;
+  t.bytes_from_device = system.from_device().bytes;
+  t.work = launch.combined;
+  t.pairs = virtual_n;
+  t.logical_dpus = logical;
+  t.simulated_dpus = simulated;
+  t.nr_tasklets = options_.nr_tasklets;
+  return out;
+}
+
+}  // namespace pimwfa::pim

@@ -1,0 +1,37 @@
+#include "seq/alphabet.hpp"
+
+#include "common/check.hpp"
+
+namespace pimwfa::seq {
+
+bool is_valid_sequence(std::string_view sequence) noexcept {
+  for (char base : sequence) {
+    if (!is_valid_base(base)) return false;
+  }
+  return true;
+}
+
+std::string reverse_complement(std::string_view sequence) {
+  std::string out;
+  out.reserve(sequence.size());
+  for (auto it = sequence.rbegin(); it != sequence.rend(); ++it) {
+    PIMWFA_ARG_CHECK(is_valid_base(*it),
+                     "invalid base '" << *it << "' in reverse_complement");
+    out.push_back(complement_base(*it));
+  }
+  return out;
+}
+
+std::string normalize_sequence(std::string_view sequence) {
+  std::string out;
+  out.reserve(sequence.size());
+  for (char base : sequence) {
+    const u8 code = encode_base(base);
+    PIMWFA_ARG_CHECK(code != kInvalidCode,
+                     "invalid base '" << base << "' in sequence");
+    out.push_back(decode_base(code));
+  }
+  return out;
+}
+
+}  // namespace pimwfa::seq

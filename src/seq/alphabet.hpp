@@ -1,0 +1,59 @@
+// DNA alphabet: 2-bit encoding, complement, validation.
+//
+// Encoding: A=0, C=1, G=2, T=3. Lower-case input is accepted and
+// normalized; any other character is invalid.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace pimwfa::seq {
+
+inline constexpr usize kAlphabetSize = 4;
+inline constexpr char kBases[kAlphabetSize] = {'A', 'C', 'G', 'T'};
+inline constexpr u8 kInvalidCode = 0xff;
+
+namespace detail {
+constexpr std::array<u8, 256> make_encode_table() {
+  std::array<u8, 256> table{};
+  for (auto& entry : table) entry = kInvalidCode;
+  table['A'] = table['a'] = 0;
+  table['C'] = table['c'] = 1;
+  table['G'] = table['g'] = 2;
+  table['T'] = table['t'] = 3;
+  return table;
+}
+inline constexpr std::array<u8, 256> kEncodeTable = make_encode_table();
+}  // namespace detail
+
+// 2-bit code for a base character, or kInvalidCode.
+constexpr u8 encode_base(char base) noexcept {
+  return detail::kEncodeTable[static_cast<u8>(base)];
+}
+
+// Character for a 2-bit code (code must be < 4).
+constexpr char decode_base(u8 code) noexcept { return kBases[code & 3u]; }
+
+// True iff `base` is one of ACGTacgt.
+constexpr bool is_valid_base(char base) noexcept {
+  return encode_base(base) != kInvalidCode;
+}
+
+// Watson-Crick complement (A<->T, C<->G). Input must be valid.
+constexpr char complement_base(char base) noexcept {
+  return decode_base(static_cast<u8>(3u - encode_base(base)));
+}
+
+// True iff every character of `sequence` is a valid base.
+bool is_valid_sequence(std::string_view sequence) noexcept;
+
+// Reverse complement of a valid DNA string.
+std::string reverse_complement(std::string_view sequence);
+
+// Normalize to upper case, throwing InvalidArgument on non-ACGT input.
+std::string normalize_sequence(std::string_view sequence);
+
+}  // namespace pimwfa::seq

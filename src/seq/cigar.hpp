@@ -1,0 +1,86 @@
+// CIGAR representation of a pairwise alignment between a `pattern` and a
+// `text`.
+//
+// Conventions (match the WFA paper): the pattern runs vertically (index v),
+// the text horizontally (index h).
+//   'M' match     consumes one pattern and one text base (bases equal)
+//   'X' mismatch  consumes one of each (bases differ)
+//   'I' insertion consumes one text base only  (gap in the pattern)
+//   'D' deletion  consumes one pattern base only (gap in the text)
+//
+// Internally ops are stored uncompressed (one char per operation), which is
+// the natural output of a backtrace; run-length compressed text form
+// ("3M1X2I") is available for display and interchange.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace pimwfa::seq {
+
+class Cigar {
+ public:
+  Cigar() = default;
+
+  // From uncompressed op string (only MXID allowed).
+  static Cigar from_ops(std::string ops);
+
+  // Parse run-length compressed form, e.g. "5M1X3D".
+  static Cigar from_rle(std::string_view rle);
+
+  // Uncompressed operation string.
+  const std::string& ops() const noexcept { return ops_; }
+  bool empty() const noexcept { return ops_.empty(); }
+  usize size() const noexcept { return ops_.size(); }
+
+  void push(char op);                 // append one op (validated)
+  void reverse();                     // reverse in place (backtrace helper)
+  void clear() noexcept { ops_.clear(); }
+
+  // Run-length compressed string.
+  std::string to_rle() const;
+
+  // Counts.
+  usize count(char op) const noexcept;
+  usize matches() const noexcept { return count('M'); }
+  usize mismatches() const noexcept { return count('X'); }
+  usize insertions() const noexcept { return count('I'); }
+  usize deletions() const noexcept { return count('D'); }
+
+  // Number of pattern / text bases consumed.
+  usize pattern_length() const noexcept;
+  usize text_length() const noexcept;
+
+  // #X + #I + #D (unit-cost edit distance of this particular alignment).
+  usize edit_distance() const noexcept;
+
+  // Gap-affine penalty of this alignment: mismatches cost `mismatch` each;
+  // every maximal run of I (or D) of length L costs gap_open + L*gap_extend;
+  // matches are free. This mirrors align::Penalties::score contributions.
+  i64 affine_score(i32 mismatch, i32 gap_open, i32 gap_extend) const noexcept;
+
+  // Fraction of M among consuming columns, in [0,1]; 0 for empty CIGAR.
+  double identity() const noexcept;
+
+  // Throws Error with a diagnostic if this CIGAR is not a valid alignment
+  // of `pattern` vs `text` (wrong lengths, M on differing bases, X on equal
+  // bases).
+  void validate(std::string_view pattern, std::string_view text) const;
+
+  // Reconstruct the text from the pattern by applying the edits.
+  std::string apply(std::string_view pattern, std::string_view text) const;
+
+  bool operator==(const Cigar& other) const noexcept = default;
+
+ private:
+  std::string ops_;
+};
+
+// True iff `op` is one of M, X, I, D.
+constexpr bool is_cigar_op(char op) noexcept {
+  return op == 'M' || op == 'X' || op == 'I' || op == 'D';
+}
+
+}  // namespace pimwfa::seq

@@ -1,0 +1,75 @@
+// Read-pair dataset container with a compact binary on-disk format.
+//
+// A ReadPairSet is the unit of work for the batch aligners: the paper's
+// Fig. 1 workload is a ReadPairSet of 5 million (pattern, text) pairs of
+// nominal length 100bp generated at edit-distance threshold E.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pimwfa::seq {
+
+struct ReadPair {
+  std::string pattern;  // e.g. the read
+  std::string text;     // e.g. the candidate reference window
+
+  bool operator==(const ReadPair&) const = default;
+};
+
+// Summary statistics over a ReadPairSet.
+struct DatasetStats {
+  usize pairs = 0;
+  usize min_length = 0;
+  usize max_length = 0;
+  double mean_pattern_length = 0.0;
+  double mean_text_length = 0.0;
+  u64 total_bases = 0;
+};
+
+class ReadPairSet {
+ public:
+  ReadPairSet() = default;
+  explicit ReadPairSet(std::vector<ReadPair> pairs) : pairs_(std::move(pairs)) {}
+
+  usize size() const noexcept { return pairs_.size(); }
+  bool empty() const noexcept { return pairs_.empty(); }
+
+  const ReadPair& operator[](usize i) const { return pairs_[i]; }
+  const std::vector<ReadPair>& pairs() const noexcept { return pairs_; }
+
+  void add(ReadPair pair) { pairs_.push_back(std::move(pair)); }
+  void reserve(usize n) { pairs_.reserve(n); }
+
+  // Generation provenance, carried through serialization (0/NaN if unknown).
+  u64 seed = 0;
+  double error_rate = 0.0;
+  usize nominal_read_length = 0;
+
+  DatasetStats stats() const;
+
+  // Longest pattern/text over all pairs (0 for empty set). The PIM layout
+  // sizes its per-pair MRAM slots from these.
+  usize max_pattern_length() const noexcept;
+  usize max_text_length() const noexcept;
+
+  // Binary serialization (magic+version header, then length-prefixed
+  // sequences). Throws IoError on failure.
+  void save(const std::string& path) const;
+  static ReadPairSet load(const std::string& path);
+
+  // A deterministic subset with every k-th pair (used by the scaled-down
+  // bench runs; preserves the score distribution of a uniform workload).
+  ReadPairSet sample_every(usize stride) const;
+
+  bool operator==(const ReadPairSet& other) const noexcept {
+    return pairs_ == other.pairs_;
+  }
+
+ private:
+  std::vector<ReadPair> pairs_;
+};
+
+}  // namespace pimwfa::seq

@@ -1,0 +1,180 @@
+#include "seq/fasta.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace pimwfa::seq {
+namespace {
+
+std::ifstream open_input(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw IoError("cannot open '" + path + "' for reading");
+  return is;
+}
+
+std::ofstream open_output(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw IoError("cannot open '" + path + "' for writing");
+  return os;
+}
+
+}  // namespace
+
+std::vector<FastaRecord> read_fasta(std::istream& is) {
+  std::vector<FastaRecord> records;
+  std::string line;
+  FastaRecord current;
+  bool in_record = false;
+  usize line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed.front() == '>') {
+      if (in_record) records.push_back(std::move(current));
+      current = FastaRecord{};
+      current.name = std::string(trim(trimmed.substr(1)));
+      in_record = true;
+    } else {
+      if (!in_record) {
+        throw IoError("FASTA line " + std::to_string(line_no) +
+                      ": sequence data before any '>' header");
+      }
+      current.sequence += std::string(trimmed);
+    }
+  }
+  if (in_record) records.push_back(std::move(current));
+  return records;
+}
+
+std::vector<FastaRecord> read_fasta_file(const std::string& path) {
+  auto is = open_input(path);
+  return read_fasta(is);
+}
+
+void write_fasta(std::ostream& os, const std::vector<FastaRecord>& records,
+                 usize line_width) {
+  PIMWFA_ARG_CHECK(line_width > 0, "FASTA line width must be positive");
+  for (const auto& record : records) {
+    os << '>' << record.name << '\n';
+    for (usize i = 0; i < record.sequence.size(); i += line_width) {
+      os << record.sequence.substr(i, line_width) << '\n';
+    }
+    if (record.sequence.empty()) os << '\n';
+  }
+}
+
+void write_fasta_file(const std::string& path,
+                      const std::vector<FastaRecord>& records,
+                      usize line_width) {
+  auto os = open_output(path);
+  write_fasta(os, records, line_width);
+  if (!os) throw IoError("write failure on '" + path + "'");
+}
+
+std::vector<FastqRecord> read_fastq(std::istream& is) {
+  std::vector<FastqRecord> records;
+  std::string header;
+  std::string sequence;
+  std::string plus;
+  std::string quality;
+  usize line_no = 0;
+  while (std::getline(is, header)) {
+    ++line_no;
+    if (trim(header).empty()) continue;
+    if (header.empty() || header[0] != '@') {
+      throw IoError("FASTQ line " + std::to_string(line_no) +
+                    ": expected '@' header");
+    }
+    if (!std::getline(is, sequence) || !std::getline(is, plus) ||
+        !std::getline(is, quality)) {
+      throw IoError("FASTQ: truncated record starting at line " +
+                    std::to_string(line_no));
+    }
+    line_no += 3;
+    if (plus.empty() || plus[0] != '+') {
+      throw IoError("FASTQ line " + std::to_string(line_no - 1) +
+                    ": expected '+' separator");
+    }
+    if (sequence.size() != quality.size()) {
+      throw IoError("FASTQ record '" + header.substr(1) +
+                    "': sequence/quality length mismatch");
+    }
+    records.push_back({std::string(trim(header.substr(1))),
+                       std::string(trim(sequence)),
+                       std::string(trim(quality))});
+  }
+  return records;
+}
+
+std::vector<FastqRecord> read_fastq_file(const std::string& path) {
+  auto is = open_input(path);
+  return read_fastq(is);
+}
+
+void write_fastq(std::ostream& os, const std::vector<FastqRecord>& records) {
+  for (const auto& record : records) {
+    PIMWFA_ARG_CHECK(record.sequence.size() == record.quality.size(),
+                     "FASTQ record '" << record.name
+                                      << "' has mismatched quality length");
+    os << '@' << record.name << '\n'
+       << record.sequence << '\n'
+       << "+\n"
+       << record.quality << '\n';
+  }
+}
+
+ReadPairSet read_seq_pairs(std::istream& is) {
+  ReadPairSet set;
+  std::string line;
+  usize line_no = 0;
+  std::string pending_pattern;
+  bool have_pattern = false;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed.front() == '>') {
+      if (have_pattern) {
+        throw IoError(".seq line " + std::to_string(line_no) +
+                      ": two consecutive '>' pattern lines");
+      }
+      pending_pattern = std::string(trimmed.substr(1));
+      have_pattern = true;
+    } else if (trimmed.front() == '<') {
+      if (!have_pattern) {
+        throw IoError(".seq line " + std::to_string(line_no) +
+                      ": '<' text line without preceding '>' pattern");
+      }
+      set.add({std::move(pending_pattern), std::string(trimmed.substr(1))});
+      have_pattern = false;
+    } else {
+      throw IoError(".seq line " + std::to_string(line_no) +
+                    ": expected '>' or '<' prefix");
+    }
+  }
+  if (have_pattern) throw IoError(".seq: dangling pattern without text");
+  return set;
+}
+
+ReadPairSet read_seq_pairs_file(const std::string& path) {
+  auto is = open_input(path);
+  return read_seq_pairs(is);
+}
+
+void write_seq_pairs(std::ostream& os, const ReadPairSet& pairs) {
+  for (const auto& pair : pairs.pairs()) {
+    os << '>' << pair.pattern << '\n' << '<' << pair.text << '\n';
+  }
+}
+
+void write_seq_pairs_file(const std::string& path, const ReadPairSet& pairs) {
+  auto os = open_output(path);
+  write_seq_pairs(os, pairs);
+  if (!os) throw IoError("write failure on '" + path + "'");
+}
+
+}  // namespace pimwfa::seq

@@ -1,0 +1,54 @@
+// FASTA/FASTQ readers and writers, plus the two-line ".seq" pair format
+// used by WFA2-lib's tools:
+//
+//   >PATTERN
+//   <TEXT
+//
+// one pair per two lines. All readers throw IoError on malformed input.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "seq/dataset.hpp"
+
+namespace pimwfa::seq {
+
+struct FastaRecord {
+  std::string name;     // header without '>'
+  std::string sequence;
+
+  bool operator==(const FastaRecord&) const = default;
+};
+
+struct FastqRecord {
+  std::string name;
+  std::string sequence;
+  std::string quality;
+
+  bool operator==(const FastqRecord&) const = default;
+};
+
+// FASTA. Multi-line sequences are concatenated.
+std::vector<FastaRecord> read_fasta(std::istream& is);
+std::vector<FastaRecord> read_fasta_file(const std::string& path);
+void write_fasta(std::ostream& os, const std::vector<FastaRecord>& records,
+                 usize line_width = 80);
+void write_fasta_file(const std::string& path,
+                      const std::vector<FastaRecord>& records,
+                      usize line_width = 80);
+
+// FASTQ (4 lines per record; '+' line content ignored).
+std::vector<FastqRecord> read_fastq(std::istream& is);
+std::vector<FastqRecord> read_fastq_file(const std::string& path);
+void write_fastq(std::ostream& os, const std::vector<FastqRecord>& records);
+
+// WFA ".seq" pair format.
+ReadPairSet read_seq_pairs(std::istream& is);
+ReadPairSet read_seq_pairs_file(const std::string& path);
+void write_seq_pairs(std::ostream& os, const ReadPairSet& pairs);
+void write_seq_pairs_file(const std::string& path, const ReadPairSet& pairs);
+
+}  // namespace pimwfa::seq

@@ -1,0 +1,84 @@
+#include "seq/generator.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "seq/alphabet.hpp"
+
+namespace pimwfa::seq {
+
+std::string random_sequence(Rng& rng, usize length) {
+  std::string out(length, '\0');
+  for (usize i = 0; i < length; ++i) {
+    out[i] = decode_base(static_cast<u8>(rng.next_below(kAlphabetSize)));
+  }
+  return out;
+}
+
+std::string mutate_sequence(Rng& rng, const std::string& sequence, usize errors,
+                            const MutationProfile& profile,
+                            MutationCounts* counts) {
+  const double total_weight =
+      profile.substitution + profile.insertion + profile.deletion;
+  PIMWFA_ARG_CHECK(total_weight > 0.0, "mutation profile weights sum to zero");
+  MutationCounts local;
+  std::string text = sequence;
+  for (usize e = 0; e < errors; ++e) {
+    const double pick = rng.next_double() * total_weight;
+    if (pick < profile.substitution && !text.empty()) {
+      const usize pos = static_cast<usize>(rng.next_below(text.size()));
+      // Replace with one of the three *other* bases so the edit is real.
+      const u8 old_code = encode_base(text[pos]);
+      const u8 shift = static_cast<u8>(1 + rng.next_below(kAlphabetSize - 1));
+      text[pos] = decode_base(static_cast<u8>((old_code + shift) % kAlphabetSize));
+      ++local.substitutions;
+    } else if (pick < profile.substitution + profile.insertion) {
+      const usize pos = static_cast<usize>(rng.next_below(text.size() + 1));
+      const char base = decode_base(static_cast<u8>(rng.next_below(kAlphabetSize)));
+      text.insert(text.begin() + static_cast<std::ptrdiff_t>(pos), base);
+      ++local.insertions;
+    } else if (!text.empty()) {
+      const usize pos = static_cast<usize>(rng.next_below(text.size()));
+      text.erase(text.begin() + static_cast<std::ptrdiff_t>(pos));
+      ++local.deletions;
+    }
+  }
+  if (counts != nullptr) *counts = local;
+  return text;
+}
+
+usize errors_for(usize read_length, double error_rate) {
+  PIMWFA_ARG_CHECK(error_rate >= 0.0 && error_rate <= 1.0,
+                   "error rate must be in [0,1]");
+  return static_cast<usize>(
+      std::ceil(static_cast<double>(read_length) * error_rate));
+}
+
+ReadPairSet generate_dataset(const GeneratorConfig& config) {
+  PIMWFA_ARG_CHECK(config.read_length > 0, "read length must be positive");
+  Rng rng(config.seed);
+  const usize errors = errors_for(config.read_length, config.error_rate);
+  ReadPairSet set;
+  set.seed = config.seed;
+  set.error_rate = config.error_rate;
+  set.nominal_read_length = config.read_length;
+  set.reserve(config.pairs);
+  for (usize i = 0; i < config.pairs; ++i) {
+    ReadPair pair;
+    pair.pattern = random_sequence(rng, config.read_length);
+    pair.text = mutate_sequence(rng, pair.pattern, errors, config.profile);
+    set.add(std::move(pair));
+  }
+  return set;
+}
+
+ReadPairSet fig1_dataset(usize pairs, double error_rate, u64 seed) {
+  GeneratorConfig config;
+  config.pairs = pairs;
+  config.read_length = 100;
+  config.error_rate = error_rate;
+  config.seed = seed;
+  return generate_dataset(config);
+}
+
+}  // namespace pimwfa::seq

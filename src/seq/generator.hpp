@@ -1,0 +1,60 @@
+// Synthetic read-pair generation, following the protocol of WFA2-lib's
+// `generate_dataset` tool (which produced the datasets used in the WFA and
+// PIM-WFA papers): a random DNA pattern of the requested length, and a text
+// derived from it by applying ceil(error_rate * length) random edit
+// operations (substitution / insertion / deletion, equiprobable by default).
+#pragma once
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "seq/dataset.hpp"
+
+namespace pimwfa::seq {
+
+// Relative weights of the three edit operation kinds used by the mutator.
+struct MutationProfile {
+  double substitution = 1.0;
+  double insertion = 1.0;
+  double deletion = 1.0;
+};
+
+// Counts of what the mutator actually applied.
+struct MutationCounts {
+  usize substitutions = 0;
+  usize insertions = 0;
+  usize deletions = 0;
+  usize total() const noexcept { return substitutions + insertions + deletions; }
+};
+
+// Uniform random DNA string of length `length`.
+std::string random_sequence(Rng& rng, usize length);
+
+// Apply exactly `errors` random edits to `sequence` and return the mutated
+// copy. Substitutions always change the base (never a no-op). `counts`, if
+// non-null, receives the per-kind tally.
+std::string mutate_sequence(Rng& rng, const std::string& sequence, usize errors,
+                            const MutationProfile& profile = {},
+                            MutationCounts* counts = nullptr);
+
+struct GeneratorConfig {
+  usize pairs = 1000;
+  usize read_length = 100;   // pattern length
+  double error_rate = 0.02;  // edit-distance threshold E of the paper
+  MutationProfile profile{};
+  u64 seed = 42;
+};
+
+// Number of edits applied per pair for a config: ceil(error_rate * length).
+usize errors_for(usize read_length, double error_rate);
+
+// Generate a full dataset. Deterministic given the seed.
+ReadPairSet generate_dataset(const GeneratorConfig& config);
+
+// The exact workload of the paper's Fig. 1: `pairs` pairs of 100bp reads at
+// threshold E (0.02 or 0.04). Seed fixed so CPU and PIM runs see identical
+// data.
+ReadPairSet fig1_dataset(usize pairs, double error_rate, u64 seed = 0x51A6);
+
+}  // namespace pimwfa::seq

@@ -1,0 +1,50 @@
+#include "upmem/config.hpp"
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace pimwfa::upmem {
+
+void SystemConfig::validate() const {
+  PIMWFA_ARG_CHECK(nr_dimms >= 1 && ranks_per_dimm >= 1 && dpus_per_rank >= 1,
+                   "topology must have at least one DPU");
+  PIMWFA_ARG_CHECK(max_tasklets >= 1 && max_tasklets <= 24,
+                   "UPMEM DPUs support 1..24 tasklets");
+  PIMWFA_ARG_CHECK(mram_bytes > 0 && wram_bytes > 0, "memories must be non-empty");
+  PIMWFA_ARG_CHECK(wram_reserved_bytes < wram_bytes,
+                   "WRAM reserve exceeds WRAM size");
+  PIMWFA_ARG_CHECK(clock_hz > 0, "clock must be positive");
+  PIMWFA_ARG_CHECK(pipeline_reissue >= 1, "pipeline re-issue must be >= 1");
+  PIMWFA_ARG_CHECK(is_pow2(dma_align), "DMA alignment must be a power of two");
+  PIMWFA_ARG_CHECK(dma_max_bytes >= dma_align,
+                   "DMA max size below alignment unit");
+  PIMWFA_ARG_CHECK(host_bw_per_rank > 0 && host_bw_cap > 0,
+                   "host bandwidth must be positive");
+}
+
+std::string SystemConfig::to_string() const {
+  return strprintf(
+      "%zu DPUs (%zu DIMMs x %zu ranks x %zu DPUs) @ %.0f MHz, "
+      "%s MRAM + %s WRAM per DPU, %zu tasklets",
+      nr_dpus(), nr_dimms, ranks_per_dimm, dpus_per_rank, clock_hz / 1e6,
+      format_bytes(mram_bytes).c_str(), format_bytes(wram_bytes).c_str(),
+      max_tasklets);
+}
+
+SystemConfig SystemConfig::paper() {
+  SystemConfig config;  // defaults are the paper system
+  config.validate();
+  return config;
+}
+
+SystemConfig SystemConfig::tiny(usize dpus) {
+  SystemConfig config;
+  config.nr_dimms = 1;
+  config.ranks_per_dimm = 1;
+  config.dpus_per_rank = dpus;
+  config.validate();
+  return config;
+}
+
+}  // namespace pimwfa::upmem

@@ -1,0 +1,84 @@
+// UPMEM PIM system configuration and timing parameters.
+//
+// Defaults model the system of the PIM-WFA paper: 20 UPMEM DIMMs (40 ranks,
+// 64 DPUs per rank = 2560 DPUs) clocked at 425 MHz, with 64 MB MRAM and
+// 64 KB WRAM per DPU and up to 24 hardware threads (tasklets) per DPU.
+//
+// Timing constants follow the published microarchitecture characterization
+// (PrIM; Gomez-Luna et al. 2021):
+//  - in-order 14-stage pipeline, one instruction dispatched per cycle, a
+//    given tasklet can dispatch at most once every `pipeline_reissue`
+//    cycles (11), so >= 11 ready tasklets saturate the pipeline;
+//  - MRAM<->WRAM DMA: fixed setup cost plus a per-byte streaming cost;
+//  - host<->MRAM transfers proceed rank-parallel up to a host-side cap.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace pimwfa::upmem {
+
+struct SystemConfig {
+  // Topology.
+  usize nr_dimms = 20;
+  usize ranks_per_dimm = 2;
+  usize dpus_per_rank = 64;
+
+  // Per-DPU resources.
+  u64 mram_bytes = 64ull * 1024 * 1024;
+  u64 wram_bytes = 64ull * 1024;
+  usize max_tasklets = 24;
+  // WRAM reserved for the runtime (stacks for the scheduler, globals);
+  // kernels allocate from the remainder.
+  u64 wram_reserved_bytes = 4ull * 1024;
+
+  // Clock.
+  double clock_hz = 425e6;
+
+  // Pipeline model.
+  usize pipeline_depth = 14;
+  usize pipeline_reissue = 11;  // min cycles between dispatches of one thread
+
+  // MRAM<->WRAM DMA model. A transfer's *latency* (what the issuing
+  // tasklet waits for) is dma_setup_cycles + bytes * dma_cycles_per_byte;
+  // the DMA *engine* is only occupied for dma_engine_setup_cycles +
+  // bytes * dma_cycles_per_byte of it (setup overlaps with in-flight
+  // transfers of other tasklets), which is what bounds aggregate DMA
+  // throughput.
+  u64 dma_setup_cycles = 88;
+  u64 dma_engine_setup_cycles = 24;
+  double dma_cycles_per_byte = 0.5;
+  // Hardware restrictions on a single DMA transfer.
+  u64 dma_align = 8;
+  u64 dma_max_bytes = 2048;
+
+  // Host<->MRAM transfer model: aggregate bandwidth grows with the number
+  // of ranks involved until the host-side cap. Calibrated to the 6-9 GB/s
+  // parallel-transfer range characterized for real UPMEM systems (PrIM).
+  double host_bw_per_rank = 180e6;  // bytes/s, rank-parallel component
+  double host_bw_cap = 7.2e9;       // bytes/s, host interface saturation
+  double host_launch_overhead_s = 50e-6;  // per kernel launch
+
+  usize nr_ranks() const noexcept { return nr_dimms * ranks_per_dimm; }
+  usize nr_dpus() const noexcept { return nr_ranks() * dpus_per_rank; }
+
+  // Seconds for `cycles` DPU cycles.
+  double cycles_to_seconds(u64 cycles) const noexcept {
+    return static_cast<double>(cycles) / clock_hz;
+  }
+
+  // Throws InvalidArgument on inconsistent parameters.
+  void validate() const;
+
+  std::string to_string() const;
+
+  // The paper's full-scale system (2560 DPUs @ 425 MHz).
+  static SystemConfig paper();
+
+  // A small system for tests: `dpus` DPUs on one rank, same per-DPU
+  // parameters.
+  static SystemConfig tiny(usize dpus);
+};
+
+}  // namespace pimwfa::upmem

@@ -1,0 +1,33 @@
+#include "upmem/cost_model.hpp"
+
+#include <algorithm>
+
+namespace pimwfa::upmem {
+
+u64 CostModel::dpu_cycles(std::span<const TaskletStats> tasklets) const noexcept {
+  const u64 reissue = config_->pipeline_reissue;
+  u64 issue = 0;
+  u64 chain = 0;
+  u64 engine = 0;
+  for (const TaskletStats& t : tasklets) {
+    issue += t.instructions;
+    chain = std::max(chain, reissue * t.instructions + t.dma_cycles);
+    engine += t.dma_calls * config_->dma_engine_setup_cycles +
+              static_cast<u64>(static_cast<double>(t.dma_bytes) *
+                               config_->dma_cycles_per_byte);
+  }
+  return std::max({issue, chain, engine});
+}
+
+double CostModel::transfer_bandwidth(usize ranks) const noexcept {
+  if (ranks == 0) return config_->host_bw_per_rank;
+  return std::min(config_->host_bw_per_rank * static_cast<double>(ranks),
+                  config_->host_bw_cap);
+}
+
+double CostModel::transfer_seconds(u64 bytes, usize ranks) const noexcept {
+  if (bytes == 0) return 0.0;
+  return static_cast<double>(bytes) / transfer_bandwidth(ranks);
+}
+
+}  // namespace pimwfa::upmem

@@ -1,0 +1,58 @@
+// Timing laws of the simulator.
+//
+// DPU pipeline law (PrIM, Gomez-Luna et al. 2021): the DPU is a 14-stage
+// in-order barrel processor dispatching at most one instruction per cycle,
+// and one tasklet can dispatch at most once every `pipeline_reissue` (11)
+// cycles. A tasklet blocked on DMA does not occupy issue slots - its
+// latency overlaps with the other tasklets' compute - but the DMA engine
+// itself serializes transfers. Three bounds therefore govern a launch:
+//
+//   issue   = sum_t instr_t                       (pipeline throughput)
+//   chain   = max_t (reissue * instr_t + dma_t)   (slowest tasklet's
+//                                                  critical path)
+//   engine  = sum_t dma_engine_t                  (DMA engine occupancy)
+//
+//   cycles  = max(issue, chain, engine)
+//
+// With >= 11 busy tasklets the issue bound dominates compute-heavy
+// kernels; few tasklets are chain- (latency-) bound - which is exactly
+// why the paper's metadata-in-MRAM policy (24 tasklets, DMA per access)
+// beats metadata-in-WRAM (fast access, few tasklets).
+//
+// Host transfer law: parallel transfers scale with the number of ranks
+// until the host interface saturates:
+//
+//   seconds = bytes / min(host_bw_per_rank * ranks, host_bw_cap)
+#pragma once
+
+#include <span>
+
+#include "upmem/config.hpp"
+#include "upmem/tasklet.hpp"
+
+namespace pimwfa::upmem {
+
+class CostModel {
+ public:
+  explicit CostModel(const SystemConfig& config) : config_(&config) {}
+
+  // Kernel cycles for one DPU given its tasklets' work.
+  u64 dpu_cycles(std::span<const TaskletStats> tasklets) const noexcept;
+
+  double dpu_seconds(std::span<const TaskletStats> tasklets) const noexcept {
+    return config_->cycles_to_seconds(dpu_cycles(tasklets));
+  }
+
+  // Host<->MRAM transfer time for `bytes` spread over `ranks` ranks.
+  double transfer_seconds(u64 bytes, usize ranks) const noexcept;
+
+  // Effective host<->DPU bandwidth at a rank count (bytes/s).
+  double transfer_bandwidth(usize ranks) const noexcept;
+
+  const SystemConfig& config() const noexcept { return *config_; }
+
+ private:
+  const SystemConfig* config_;
+};
+
+}  // namespace pimwfa::upmem

@@ -1,0 +1,58 @@
+// One simulated DPU: private MRAM + WRAM, a DMA engine, and a launch
+// entry point that runs a kernel on N tasklets and reports cycle counts
+// through the pipeline law.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "upmem/cost_model.hpp"
+#include "upmem/kernel.hpp"
+
+namespace pimwfa::upmem {
+
+// Result of one kernel launch on one DPU.
+struct DpuRunStats {
+  std::vector<TaskletStats> tasklets;
+  u64 cycles = 0;  // via CostModel::dpu_cycles
+
+  TaskletStats combined() const {
+    TaskletStats all;
+    for (const TaskletStats& t : tasklets) all.merge(t);
+    return all;
+  }
+};
+
+class Dpu {
+ public:
+  Dpu(const SystemConfig& config, usize id);
+
+  usize id() const noexcept { return id_; }
+  Mram& mram() noexcept { return mram_; }
+  const Mram& mram() const noexcept { return mram_; }
+  Wram& wram() noexcept { return wram_; }
+  const DmaEngine& dma() const noexcept { return dma_; }
+  const SystemConfig& config() const noexcept { return *config_; }
+
+  // Run `kernel` on `nr_tasklets` tasklets. Functionally sequential;
+  // timing composed by the pipeline law. Resets the WRAM heap first
+  // (launches start from a clean scratchpad, as on hardware reboot of the
+  // tasklet runtime).
+  DpuRunStats launch(DpuKernel& kernel, usize nr_tasklets);
+
+  // WRAM heap management (used by TaskletCtx; heap starts above the
+  // runtime reserve).
+  u64 wram_heap_alloc(usize bytes);
+  u64 wram_heap_free() const noexcept;
+  void wram_heap_reset() noexcept;
+
+ private:
+  const SystemConfig* config_;
+  usize id_;
+  Mram mram_;
+  Wram wram_;
+  DmaEngine dma_;
+  u64 wram_heap_top_ = 0;
+};
+
+}  // namespace pimwfa::upmem

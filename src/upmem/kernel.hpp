@@ -1,0 +1,21 @@
+// DPU kernel interface: the code a DPU runs when launched.
+//
+// run() is invoked once per tasklet. Tasklets of the paper's WFA kernel are
+// fully independent (the paper explicitly avoids inter-thread
+// synchronization), so the simulator executes them sequentially and models
+// their concurrency in the timing law; kernels must not depend on
+// cross-tasklet execution order.
+#pragma once
+
+#include "upmem/tasklet.hpp"
+
+namespace pimwfa::upmem {
+
+class DpuKernel {
+ public:
+  virtual ~DpuKernel() = default;
+
+  virtual void run(TaskletCtx& ctx) = 0;
+};
+
+}  // namespace pimwfa::upmem

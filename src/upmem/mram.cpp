@@ -1,0 +1,59 @@
+#include "upmem/mram.hpp"
+
+#include <cstring>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace pimwfa::upmem {
+namespace {
+
+constexpr u64 kGrowChunk = 64 * 1024;  // growth granularity
+
+}  // namespace
+
+Mram::Mram(u64 capacity_bytes) : capacity_(capacity_bytes) {
+  PIMWFA_ARG_CHECK(capacity_bytes > 0, "MRAM capacity must be positive");
+}
+
+void Mram::check_range(u64 addr, usize bytes) const {
+  PIMWFA_HW_CHECK(addr <= capacity_ && bytes <= capacity_ - addr,
+                  "MRAM access [" << addr << ", " << addr + bytes
+                                  << ") exceeds capacity " << capacity_);
+}
+
+void Mram::ensure(u64 end) {
+  if (end <= store_.size()) return;
+  store_.resize(static_cast<usize>(
+      std::min(capacity_, round_up_pow2(end, kGrowChunk))));
+}
+
+void Mram::read(u64 addr, void* dst, usize bytes) const {
+  check_range(addr, bytes);
+  if (bytes == 0) return;
+  const u64 have = store_.size();
+  if (addr >= have) {
+    std::memset(dst, 0, bytes);  // untouched DRAM reads as zero
+    return;
+  }
+  const usize from_store = static_cast<usize>(std::min<u64>(bytes, have - addr));
+  std::memcpy(dst, store_.data() + addr, from_store);
+  if (from_store < bytes) {
+    std::memset(static_cast<u8*>(dst) + from_store, 0, bytes - from_store);
+  }
+}
+
+void Mram::write(u64 addr, const void* src, usize bytes) {
+  check_range(addr, bytes);
+  if (bytes == 0) return;
+  ensure(addr + bytes);
+  std::memcpy(store_.data() + addr, src, bytes);
+}
+
+void Mram::clear(u64 bytes) {
+  check_range(0, static_cast<usize>(bytes));
+  const u64 upto = std::min<u64>(bytes, store_.size());
+  std::memset(store_.data(), 0, static_cast<usize>(upto));
+}
+
+}  // namespace pimwfa::upmem

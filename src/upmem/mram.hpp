@@ -1,0 +1,51 @@
+// Simulated MRAM: the 64 MB DRAM bank private to one DPU.
+//
+// Byte-addressable from the host side and via the DPU's DMA engine.
+// Backing storage is grown lazily in chunks so instantiating thousands of
+// DPUs costs memory proportional to the data actually placed in them.
+// Out-of-bounds accesses throw HardwareFault.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pimwfa::upmem {
+
+class Mram {
+ public:
+  explicit Mram(u64 capacity_bytes);
+
+  u64 capacity() const noexcept { return capacity_; }
+  // High-water mark of touched bytes (allocation footprint of the sim).
+  u64 touched() const noexcept { return store_.size(); }
+
+  void read(u64 addr, void* dst, usize bytes) const;
+  void write(u64 addr, const void* src, usize bytes);
+
+  // Zero the first `bytes` bytes (host-side convenience).
+  void clear(u64 bytes);
+
+  template <typename T>
+  T read_pod(u64 addr) const {
+    T value{};
+    read(addr, &value, sizeof(T));
+    return value;
+  }
+
+  template <typename T>
+  void write_pod(u64 addr, const T& value) {
+    write(addr, &value, sizeof(T));
+  }
+
+ private:
+  void ensure(u64 end);
+  void check_range(u64 addr, usize bytes) const;
+
+  u64 capacity_;
+  mutable std::vector<u8> store_;  // grows lazily; reads past the high-water
+                                   // mark return zeros (fresh DRAM is zeroed
+                                   // by the host runtime)
+};
+
+}  // namespace pimwfa::upmem

@@ -1,0 +1,96 @@
+// PimSystem: a set of simulated DPUs plus the host-side transfer and
+// launch machinery, with the timing breakdown of the paper's Fig. 1
+// (scatter -> kernel -> gather; "Total" includes transfers, "Kernel" does
+// not).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "upmem/cost_model.hpp"
+#include "upmem/dpu.hpp"
+
+namespace pimwfa::upmem {
+
+// Accumulated host<->DPU traffic of one experiment phase.
+struct TransferStats {
+  u64 bytes = 0;
+  usize dpus_touched = 0;
+
+  // Modeled wall time, given how many ranks participate.
+  double seconds(const CostModel& model, usize ranks) const {
+    return model.transfer_seconds(bytes, ranks);
+  }
+};
+
+// Result of launching a kernel across the system.
+struct LaunchStats {
+  u64 max_cycles = 0;     // slowest DPU (kernel wall time)
+  u64 total_cycles = 0;   // sum over DPUs (energy-proportional work)
+  usize dpus = 0;
+  TaskletStats combined;  // summed over all DPUs/tasklets
+
+  double kernel_seconds(const SystemConfig& config) const {
+    return config.cycles_to_seconds(max_cycles) + config.host_launch_overhead_s;
+  }
+};
+
+class PimSystem {
+ public:
+  // Instantiates `simulated_dpus` of the configured system (0 = all).
+  // Simulating a subset is how full-scale (2560-DPU) experiments stay
+  // tractable: with a uniformly distributed workload, per-DPU behaviour is
+  // homogeneous and the slowest simulated DPU stands in for the slowest
+  // overall (see EXPERIMENTS.md).
+  explicit PimSystem(SystemConfig config, usize simulated_dpus = 0);
+
+  const SystemConfig& config() const noexcept { return config_; }
+  const CostModel& cost_model() const noexcept { return cost_model_; }
+
+  usize nr_dpus() const noexcept { return dpus_.size(); }  // simulated
+  usize logical_dpus() const noexcept { return config_.nr_dpus(); }
+  usize ranks_in_use() const noexcept;
+
+  Dpu& dpu(usize index) { return *dpus_.at(index); }
+  const Dpu& dpu(usize index) const { return *dpus_.at(index); }
+
+  // --- host<->MRAM transfers (byte-accounted) -------------------------
+  void copy_to_mram(usize dpu, u64 addr, std::span<const u8> data);
+  void copy_from_mram(usize dpu, u64 addr, std::span<u8> out) const;
+
+  // Traffic recorded since the last reset_transfer_stats(), split by
+  // direction.
+  const TransferStats& to_device() const noexcept { return to_device_; }
+  const TransferStats& from_device() const noexcept { return from_device_; }
+  void reset_transfer_stats() noexcept;
+
+  // Record traffic without materializing it (used when only a subset of a
+  // uniform workload is functionally simulated; the remaining bytes still
+  // cross the bus in the timing model).
+  void account_to_device(u64 bytes) noexcept { to_device_.bytes += bytes; }
+  void account_from_device(u64 bytes) noexcept { from_device_.bytes += bytes; }
+
+  // --- launch ----------------------------------------------------------
+  // Launch one kernel instance per simulated DPU. `factory(dpu_index)`
+  // builds the per-DPU kernel object. Runs on `pool` if given.
+  LaunchStats launch_all(
+      const std::function<std::unique_ptr<DpuKernel>(usize)>& factory,
+      usize nr_tasklets, ThreadPool* pool = nullptr);
+
+  // Convenience timing queries for the Fig. 1 breakdown.
+  double scatter_seconds() const;
+  double gather_seconds() const;
+
+ private:
+  SystemConfig config_;
+  CostModel cost_model_;
+  std::vector<std::unique_ptr<Dpu>> dpus_;
+  TransferStats to_device_;
+  TransferStats from_device_;
+  mutable std::vector<u8> touched_;  // per-DPU traffic flags
+};
+
+}  // namespace pimwfa::upmem

@@ -1,0 +1,58 @@
+// Simulated WRAM: the 64 KB SRAM scratchpad shared by all tasklets of one
+// DPU. Kernels address it through offsets handed out by the per-launch
+// layout (see TaskletCtx::wram_alloc); load/store helpers bounds-check.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace pimwfa::upmem {
+
+class Wram {
+ public:
+  explicit Wram(u64 capacity_bytes)
+      : store_(static_cast<usize>(capacity_bytes), 0) {
+    PIMWFA_ARG_CHECK(capacity_bytes > 0, "WRAM capacity must be positive");
+  }
+
+  u64 capacity() const noexcept { return store_.size(); }
+
+  // Raw pointer to an offset, validated against [offset, offset+bytes).
+  u8* at(u64 offset, usize bytes) {
+    check_range(offset, bytes);
+    return store_.data() + offset;
+  }
+  const u8* at(u64 offset, usize bytes) const {
+    check_range(offset, bytes);
+    return store_.data() + offset;
+  }
+
+  template <typename T>
+  T load(u64 offset) const {
+    T value{};
+    std::memcpy(&value, at(offset, sizeof(T)), sizeof(T));
+    return value;
+  }
+
+  template <typename T>
+  void store(u64 offset, const T& value) {
+    std::memcpy(at(offset, sizeof(T)), &value, sizeof(T));
+  }
+
+  void fill(u8 value) { std::fill(store_.begin(), store_.end(), value); }
+
+ private:
+  void check_range(u64 offset, usize bytes) const {
+    PIMWFA_HW_CHECK(offset <= store_.size() && bytes <= store_.size() - offset,
+                    "WRAM access [" << offset << ", " << offset + bytes
+                                    << ") exceeds capacity " << store_.size());
+  }
+
+  std::vector<u8> store_;
+};
+
+}  // namespace pimwfa::upmem

@@ -1,0 +1,43 @@
+#include "wfa/allocator.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace pimwfa::wfa {
+
+SlabAllocator::SlabAllocator(usize slab_bytes) : slab_bytes_(slab_bytes) {
+  PIMWFA_ARG_CHECK(slab_bytes >= 64, "slab size too small");
+}
+
+void* SlabAllocator::allocate(usize bytes) {
+  const usize rounded = round_up_pow2(std::max<usize>(bytes, 1), kAllocAlign);
+  // Find (or create) a slab with room, starting from the active one.
+  while (true) {
+    if (active_ == slabs_.size()) {
+      Slab slab;
+      slab.capacity = std::max(rounded, slab_bytes_);
+      slab.data = std::make_unique<u8[]>(slab.capacity);
+      slabs_.push_back(std::move(slab));
+    }
+    Slab& slab = slabs_[active_];
+    if (slab.used + rounded <= slab.capacity) {
+      u8* ptr = slab.data.get() + slab.used;
+      slab.used += rounded;
+      in_use_ += rounded;
+      high_water_ = std::max(high_water_, in_use_);
+      PIMWFA_DCHECK(is_aligned_pow2(reinterpret_cast<u64>(ptr), kAllocAlign));
+      return ptr;
+    }
+    ++active_;  // slab full; spill to the next
+  }
+}
+
+void SlabAllocator::reset() {
+  for (Slab& slab : slabs_) slab.used = 0;
+  active_ = 0;
+  in_use_ = 0;
+}
+
+}  // namespace pimwfa::wfa

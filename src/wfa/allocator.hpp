@@ -1,0 +1,77 @@
+// Allocator seam of the WFA library.
+//
+// The original WFA C library allocates all wavefront metadata from an arena
+// ("mm_allocator"). The PIM paper's key implementation contribution is
+// replacing that allocator with one that manages the WRAM/MRAM hierarchy of
+// a UPMEM DPU. We reproduce that seam: the WFA core allocates exclusively
+// through this interface, the CPU build plugs in SlabAllocator (an
+// mm_allocator equivalent), and src/pim plugs in the hierarchical
+// WRAM/MRAM allocator.
+//
+// Contract: bump allocation only; there is no per-object free. reset()
+// recycles everything between alignments. All returns are 8-byte aligned
+// (the DMA-alignment restriction of UPMEM, harmless on CPU).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pimwfa::wfa {
+
+inline constexpr usize kAllocAlign = 8;
+
+class WavefrontAllocator {
+ public:
+  virtual ~WavefrontAllocator() = default;
+
+  // 8-byte-aligned storage for `bytes` bytes; valid until reset().
+  // Throws (Error or HardwareFault) when the backing store is exhausted.
+  virtual void* allocate(usize bytes) = 0;
+
+  // Recycle all allocations (O(1); memory is retained for reuse).
+  virtual void reset() = 0;
+
+  // Bytes handed out since the last reset().
+  virtual usize bytes_in_use() const = 0;
+
+  // Maximum bytes_in_use() ever observed (across resets).
+  virtual usize high_water() const = 0;
+
+  // Typed helper.
+  template <typename T>
+  T* allocate_array(usize count) {
+    return static_cast<T*>(allocate(count * sizeof(T)));
+  }
+};
+
+// CPU arena allocator: a chain of malloc'd slabs with bump-pointer
+// allocation, equivalent to WFA's mm_allocator. Slabs are retained across
+// reset() so steady-state alignment does no heap allocation.
+class SlabAllocator final : public WavefrontAllocator {
+ public:
+  explicit SlabAllocator(usize slab_bytes = 256 * 1024);
+
+  void* allocate(usize bytes) override;
+  void reset() override;
+  usize bytes_in_use() const override { return in_use_; }
+  usize high_water() const override { return high_water_; }
+
+  usize slab_count() const noexcept { return slabs_.size(); }
+
+ private:
+  struct Slab {
+    std::unique_ptr<u8[]> data;
+    usize capacity = 0;
+    usize used = 0;
+  };
+
+  usize slab_bytes_;
+  std::vector<Slab> slabs_;
+  usize active_ = 0;  // index of the slab currently bump-allocating
+  usize in_use_ = 0;
+  usize high_water_ = 0;
+};
+
+}  // namespace pimwfa::wfa

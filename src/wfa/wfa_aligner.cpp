@@ -1,0 +1,448 @@
+#include "wfa/wfa_aligner.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pimwfa::wfa {
+namespace {
+
+inline Offset max3(Offset a, Offset b, Offset c) noexcept {
+  return std::max(a, std::max(b, c));
+}
+
+// Mismatch-predecessor candidate for M[s][k]: advance one along the
+// diagonal, trimmed against the sequence bounds (h <= tlen, v <= plen).
+// Shared by compute_next and backtrace so both see identical values.
+inline Offset mismatch_candidate(Offset prev, i32 k, i32 plen,
+                                 i32 tlen) noexcept {
+  if (!offset_reachable(prev)) return kOffsetNone;
+  const Offset off = prev + 1;
+  if (off > tlen || off - k > plen) return kOffsetNone;
+  return off;
+}
+
+}  // namespace
+
+WfaAligner::WfaAligner(Options options, WavefrontAllocator* allocator)
+    : options_(options) {
+  options_.penalties.validate();
+  PIMWFA_ARG_CHECK(options_.max_score >= 0, "max_score must be >= 0");
+  if (allocator != nullptr) {
+    allocator_ = allocator;
+  } else {
+    owned_allocator_ = std::make_unique<SlabAllocator>();
+    allocator_ = owned_allocator_.get();
+  }
+}
+
+Wavefront WfaAligner::new_wavefront(i32 lo, i32 hi) {
+  PIMWFA_DCHECK(lo <= hi);
+  Wavefront wf;
+  wf.exists = true;
+  wf.lo = lo;
+  wf.hi = hi;
+  const usize width = static_cast<usize>(hi - lo + 1);
+  wf.offsets = allocator_->allocate_array<Offset>(width);
+  counters_.allocated_bytes += width * sizeof(Offset);
+  return wf;
+}
+
+bool WfaAligner::extend_and_check(Wavefront& m, std::string_view pattern,
+                                  std::string_view text) {
+  if (!m.exists) return false;
+  const i32 plen = static_cast<i32>(pattern.size());
+  const i32 tlen = static_cast<i32>(text.size());
+  const i32 k_final = tlen - plen;
+  bool done = false;
+  for (i32 k = m.lo; k <= m.hi; ++k) {
+    Offset off = m.offsets[k - m.lo];
+    if (!offset_reachable(off)) continue;
+    i32 v = off - k;
+    while (v < plen && off < tlen &&
+           pattern[static_cast<usize>(v)] == text[static_cast<usize>(off)]) {
+      ++v;
+      ++off;
+      ++counters_.extend_matches;
+    }
+    ++counters_.extend_probes;
+    m.offsets[k - m.lo] = off;
+    if (k == k_final && off >= tlen) done = true;
+  }
+  return done;
+}
+
+void WfaAligner::compute_next(i64 score, usize plen, usize tlen) {
+  const i32 x = options_.penalties.mismatch;
+  const i32 oe = options_.penalties.gap_open + options_.penalties.gap_extend;
+  const i32 e = options_.penalties.gap_extend;
+  const usize s = static_cast<usize>(score);
+
+  sets_.emplace_back();  // sets_[s]; take source pointers only after this
+
+  const Wavefront* m_sub = (score >= x) ? &sets_[s - x].m : nullptr;
+  const Wavefront* m_gap = (score >= oe) ? &sets_[s - oe].m : nullptr;
+  const Wavefront* i_ext = (score >= e) ? &sets_[s - e].i : nullptr;
+  const Wavefront* d_ext = (score >= e) ? &sets_[s - e].d : nullptr;
+  auto live = [](const Wavefront* w) { return w != nullptr && w->exists; };
+  if (!live(m_sub) && !live(m_gap) && !live(i_ext) && !live(d_ext)) {
+    return;  // unreachable score (hole); the set stays null
+  }
+
+  i32 lo = std::numeric_limits<i32>::max();
+  i32 hi = std::numeric_limits<i32>::min();
+  for (const Wavefront* w : {m_sub, m_gap, i_ext, d_ext}) {
+    if (!live(w)) continue;
+    lo = std::min(lo, w->lo - 1);
+    hi = std::max(hi, w->hi + 1);
+  }
+  const i32 pl = static_cast<i32>(plen);
+  const i32 tl = static_cast<i32>(tlen);
+  lo = std::max(lo, -pl);  // diagonals below -plen / above tlen are invalid
+  hi = std::min(hi, tl);
+  if (lo > hi) return;
+
+  WavefrontSet& out = sets_[s];
+  out.m = new_wavefront(lo, hi);
+  out.i = new_wavefront(lo, hi);
+  out.d = new_wavefront(lo, hi);
+
+  auto at = [](const Wavefront* w, i32 k) {
+    return w != nullptr ? w->at(k) : kOffsetNone;
+  };
+  for (i32 k = lo; k <= hi; ++k) {
+    // I[s][k]: open from M[s-o-e][k-1] or extend I[s-e][k-1]; consumes one
+    // text base, so trim h <= tlen.
+    Offset ins = std::max(at(m_gap, k - 1), at(i_ext, k - 1));
+    if (offset_reachable(ins)) {
+      ++ins;
+      if (ins > tl) ins = kOffsetNone;
+    } else {
+      ins = kOffsetNone;
+    }
+    // D[s][k]: open from M[s-o-e][k+1] or extend D[s-e][k+1]; consumes one
+    // pattern base, so trim v = off - k <= plen.
+    Offset del = std::max(at(m_gap, k + 1), at(d_ext, k + 1));
+    if (!offset_reachable(del) || del - k > pl) del = kOffsetNone;
+    // M[s][k]: mismatch predecessor or close a gap opened this score.
+    const Offset sub = mismatch_candidate(at(m_sub, k), k, pl, tl);
+    Offset best = max3(sub, ins, del);
+    if (!offset_reachable(best)) best = kOffsetNone;
+
+    out.i.set(k, ins);
+    out.d.set(k, del);
+    out.m.set(k, best);
+    counters_.computed_cells += 3;
+  }
+  ++counters_.wavefront_sets;
+}
+
+namespace {
+
+// Narrow a component to the intersection of its range with [lo, hi] by
+// sliding the base pointer (allocation is untouched; the dropped cells are
+// simply no longer addressable).
+void shrink_wavefront(Wavefront& w, i32 lo, i32 hi) {
+  if (!w.exists) return;
+  const i32 new_lo = std::max(w.lo, lo);
+  const i32 new_hi = std::min(w.hi, hi);
+  if (new_lo > new_hi) {
+    w = Wavefront{};
+    return;
+  }
+  w.offsets += (new_lo - w.lo);
+  w.lo = new_lo;
+  w.hi = new_hi;
+}
+
+}  // namespace
+
+void WfaAligner::reduce(WavefrontSet& set, i32 plen, i32 tlen) {
+  Wavefront& m = set.m;
+  if (!m.exists) return;
+  const i32 length = m.hi - m.lo + 1;
+  if (length <= options_.heuristic.min_wavefront_length) return;
+
+  // Remaining anti-diagonal distance to the target corner per diagonal;
+  // unreachable cells count as infinite so they fall off the edges.
+  auto distance = [&](i32 k) -> i64 {
+    const Offset off = m.at(k);
+    if (!offset_reachable(off)) return std::numeric_limits<i64>::max();
+    const i32 v = off - k;
+    return static_cast<i64>(plen - v) + static_cast<i64>(tlen - off);
+  };
+  i64 best = std::numeric_limits<i64>::max();
+  for (i32 k = m.lo; k <= m.hi; ++k) best = std::min(best, distance(k));
+  if (best == std::numeric_limits<i64>::max()) return;
+
+  const i64 cutoff = best + options_.heuristic.max_distance_diff;
+  i32 new_lo = m.lo;
+  i32 new_hi = m.hi;
+  while (new_lo < new_hi && distance(new_lo) > cutoff) ++new_lo;
+  while (new_hi > new_lo && distance(new_hi) > cutoff) --new_hi;
+  if (new_lo == m.lo && new_hi == m.hi) return;
+
+  shrink_wavefront(set.m, new_lo, new_hi);
+  shrink_wavefront(set.i, new_lo, new_hi);
+  shrink_wavefront(set.d, new_lo, new_hi);
+}
+
+seq::Cigar WfaAligner::backtrace(i64 final_score, std::string_view pattern,
+                                 std::string_view text) {
+  const i32 x = options_.penalties.mismatch;
+  const i32 oe = options_.penalties.gap_open + options_.penalties.gap_extend;
+  const i32 e = options_.penalties.gap_extend;
+  const i32 pl = static_cast<i32>(pattern.size());
+  const i32 tl = static_cast<i32>(text.size());
+
+  enum class State { kM, kI, kD };
+  seq::Cigar cigar;
+  i64 s = final_score;
+  i32 k = tl - pl;
+  Offset off = tl;
+  State state = State::kM;
+
+  while (true) {
+    const usize si = static_cast<usize>(s);
+    if (state == State::kM) {
+      const Offset sub =
+          (s >= x) ? mismatch_candidate(sets_[si - static_cast<usize>(x)].m.at(k),
+                                        k, pl, tl)
+                   : kOffsetNone;
+      const Offset ins = sets_[si].i.at(k);
+      const Offset del = sets_[si].d.at(k);
+      const Offset best = max3(sub, ins, del);
+      if (!offset_reachable(best)) {
+        // Start of the alignment: the score-0 seed on diagonal 0 plus its
+        // initial run of matches.
+        PIMWFA_CHECK(s == 0 && k == 0,
+                     "WFA backtrace stuck at s=" << s << " k=" << k);
+        for (Offset i = 0; i < off; ++i) cigar.push('M');
+        break;
+      }
+      PIMWFA_CHECK(off >= best, "WFA backtrace offset regression");
+      for (Offset i = best; i < off; ++i) cigar.push('M');
+      off = best;
+      if (sub == best) {
+        cigar.push('X');
+        s -= x;
+        --off;
+      } else if (ins == best) {
+        state = State::kI;
+      } else {
+        state = State::kD;
+      }
+    } else if (state == State::kI) {
+      cigar.push('I');
+      const Offset open_src =
+          (s >= oe) ? sets_[si - static_cast<usize>(oe)].m.at(k - 1)
+                    : kOffsetNone;
+      if (open_src == off - 1) {
+        state = State::kM;
+        s -= oe;
+      } else {
+        const Offset ext_src =
+            (s >= e) ? sets_[si - static_cast<usize>(e)].i.at(k - 1)
+                     : kOffsetNone;
+        PIMWFA_CHECK(ext_src == off - 1, "WFA backtrace broken I chain");
+        s -= e;
+      }
+      --off;
+      --k;
+    } else {
+      cigar.push('D');
+      const Offset open_src =
+          (s >= oe) ? sets_[si - static_cast<usize>(oe)].m.at(k + 1)
+                    : kOffsetNone;
+      if (open_src == off) {
+        state = State::kM;
+        s -= oe;
+      } else {
+        const Offset ext_src =
+            (s >= e) ? sets_[si - static_cast<usize>(e)].d.at(k + 1)
+                     : kOffsetNone;
+        PIMWFA_CHECK(ext_src == off, "WFA backtrace broken D chain");
+        s -= e;
+      }
+      ++k;
+    }
+  }
+  counters_.backtrace_ops += cigar.size();
+  cigar.reverse();
+  return cigar;
+}
+
+i64 WfaAligner::score_low_memory(std::string_view pattern,
+                                 std::string_view text, i64 score_cap) {
+  const i32 x = options_.penalties.mismatch;
+  const i32 oe = options_.penalties.gap_open + options_.penalties.gap_extend;
+  const i32 e = options_.penalties.gap_extend;
+  const i32 pl = static_cast<i32>(pattern.size());
+  const i32 tl = static_cast<i32>(text.size());
+  // Deepest lookback is max(x, o+e); one extra slot for the one being
+  // written.
+  const usize ring_size = static_cast<usize>(std::max(x, oe)) + 1;
+  if (ring_.size() < ring_size) ring_.resize(ring_size);
+  for (RingSlot& slot : ring_) slot.set = WavefrontSet{};
+
+  auto slot_of = [&](i64 score) -> RingSlot& {
+    return ring_[static_cast<usize>(score) % ring_size];
+  };
+  auto set_at = [&](i64 score) -> const WavefrontSet& {
+    return slot_of(score).set;
+  };
+  // Rebind a slot's component over its backing vector.
+  auto make_front = [&](std::vector<Offset>& storage, i32 lo,
+                        i32 hi) -> Wavefront {
+    storage.resize(static_cast<usize>(hi - lo + 1));
+    Wavefront wf;
+    wf.exists = true;
+    wf.lo = lo;
+    wf.hi = hi;
+    wf.offsets = storage.data();
+    counters_.allocated_bytes += storage.size() * sizeof(Offset);
+    return wf;
+  };
+
+  // Score 0 seed.
+  {
+    RingSlot& slot = slot_of(0);
+    slot.set = WavefrontSet{};
+    slot.set.m = make_front(slot.m, 0, 0);
+    slot.set.m.set(0, 0);
+  }
+  i64 score = 0;
+  bool done = extend_and_check(slot_of(0).set.m, pattern, text);
+  while (!done) {
+    ++score;
+    ++counters_.score_steps;
+    PIMWFA_CHECK(score <= score_cap,
+                 "WFA exceeded score cap " << score_cap << " (max_score option)");
+    const Wavefront* m_sub = (score >= x) ? &set_at(score - x).m : nullptr;
+    const Wavefront* m_gap = (score >= oe) ? &set_at(score - oe).m : nullptr;
+    const Wavefront* i_ext = (score >= e) ? &set_at(score - e).i : nullptr;
+    const Wavefront* d_ext = (score >= e) ? &set_at(score - e).d : nullptr;
+    auto live = [](const Wavefront* w) { return w != nullptr && w->exists; };
+
+    RingSlot& out_slot = slot_of(score);
+    out_slot.set = WavefrontSet{};  // clears the expired score-(ring) set
+    if (!live(m_sub) && !live(m_gap) && !live(i_ext) && !live(d_ext)) {
+      continue;  // hole
+    }
+    i32 lo = std::numeric_limits<i32>::max();
+    i32 hi = std::numeric_limits<i32>::min();
+    for (const Wavefront* w : {m_sub, m_gap, i_ext, d_ext}) {
+      if (!live(w)) continue;
+      lo = std::min(lo, w->lo - 1);
+      hi = std::max(hi, w->hi + 1);
+    }
+    lo = std::max(lo, -pl);
+    hi = std::min(hi, tl);
+    if (lo > hi) continue;
+
+    // NOTE: sources can alias the output slot only if ring_size were too
+    // small; ring_size > max lookback guarantees distinct slots.
+    out_slot.set.m = make_front(out_slot.m, lo, hi);
+    out_slot.set.i = make_front(out_slot.i, lo, hi);
+    out_slot.set.d = make_front(out_slot.d, lo, hi);
+    auto at = [](const Wavefront* w, i32 k) {
+      return w != nullptr ? w->at(k) : kOffsetNone;
+    };
+    for (i32 k = lo; k <= hi; ++k) {
+      Offset ins = std::max(at(m_gap, k - 1), at(i_ext, k - 1));
+      if (offset_reachable(ins)) {
+        ++ins;
+        if (ins > tl) ins = kOffsetNone;
+      } else {
+        ins = kOffsetNone;
+      }
+      Offset del = std::max(at(m_gap, k + 1), at(d_ext, k + 1));
+      if (!offset_reachable(del) || del - k > pl) del = kOffsetNone;
+      const Offset sub = mismatch_candidate(at(m_sub, k), k, pl, tl);
+      Offset best = max3(sub, ins, del);
+      if (!offset_reachable(best)) best = kOffsetNone;
+      out_slot.set.i.set(k, ins);
+      out_slot.set.d.set(k, del);
+      out_slot.set.m.set(k, best);
+      counters_.computed_cells += 3;
+    }
+    ++counters_.wavefront_sets;
+    done = extend_and_check(out_slot.set.m, pattern, text);
+  }
+  return score;
+}
+
+align::AlignmentResult WfaAligner::align(std::string_view pattern,
+                                         std::string_view text,
+                                         align::AlignmentScope scope) {
+  const usize plen = pattern.size();
+  const usize tlen = text.size();
+  ++counters_.alignments;
+  allocator_->reset();
+  sets_.clear();
+
+  align::AlignmentResult result;
+
+  // Degenerate inputs: the alignment is a single gap (or nothing).
+  if (plen == 0 || tlen == 0) {
+    const usize gap = plen + tlen;
+    result.score =
+        gap == 0 ? 0
+                 : options_.penalties.gap_open +
+                       static_cast<i64>(gap) * options_.penalties.gap_extend;
+    if (scope == align::AlignmentScope::kFull) {
+      seq::Cigar cigar;
+      for (usize i = 0; i < tlen; ++i) cigar.push('I');
+      for (usize i = 0; i < plen; ++i) cigar.push('D');
+      result.cigar = std::move(cigar);
+      result.has_cigar = true;
+    }
+    counters_.max_score =
+        std::max(counters_.max_score, static_cast<u64>(result.score));
+    return result;
+  }
+
+  const i64 score_cap =
+      options_.max_score > 0
+          ? options_.max_score
+          : align::worst_case_score(options_.penalties, plen, tlen);
+
+  if (options_.memory_mode == MemoryMode::kLow &&
+      scope == align::AlignmentScope::kScoreOnly &&
+      !options_.heuristic.enabled) {
+    result.score = score_low_memory(pattern, text, score_cap);
+    counters_.max_score =
+        std::max(counters_.max_score, static_cast<u64>(result.score));
+    return result;
+  }
+
+  sets_.emplace_back();
+  sets_[0].m = new_wavefront(0, 0);
+  sets_[0].m.set(0, 0);
+  i64 score = 0;
+  bool done = extend_and_check(sets_[0].m, pattern, text);
+  while (!done) {
+    if (options_.heuristic.enabled) {
+      reduce(sets_[static_cast<usize>(score)], static_cast<i32>(plen),
+             static_cast<i32>(tlen));
+    }
+    ++score;
+    ++counters_.score_steps;
+    PIMWFA_CHECK(score <= score_cap,
+                 "WFA exceeded score cap " << score_cap << " (max_score option)");
+    compute_next(score, plen, tlen);
+    if (sets_[static_cast<usize>(score)].m.exists) {
+      done = extend_and_check(sets_[static_cast<usize>(score)].m, pattern, text);
+    }
+  }
+
+  result.score = score;
+  if (scope == align::AlignmentScope::kFull) {
+    result.cigar = backtrace(score, pattern, text);
+    result.has_cigar = true;
+  }
+  counters_.max_score = std::max(counters_.max_score, static_cast<u64>(score));
+  return result;
+}
+
+}  // namespace pimwfa::wfa

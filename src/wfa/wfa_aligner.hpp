@@ -1,0 +1,115 @@
+// Gap-affine wavefront aligner (WFA), the algorithm of Marco-Sola et al.
+// (Bioinformatics 2021) that the PIM paper ports to UPMEM.
+//
+// Exact global alignment in O(ns) time and O(s^2) memory, where s is the
+// optimal gap-affine penalty: wavefronts are evaluated for increasing
+// score, each first *extended* along matching diagonals (free matches),
+// then the next score's wavefront is *computed* from the recurrences
+//
+//   I[s][k] = max(M[s-o-e][k-1], I[s-e][k-1]) + 1
+//   D[s][k] = max(M[s-o-e][k+1], D[s-e][k+1])
+//   M[s][k] = max(M[s-x][k] + 1, I[s][k], D[s][k])
+//
+// until M[s][tlen - plen] reaches offset tlen. A backtrace over the stored
+// wavefronts reconstructs the CIGAR.
+//
+// All wavefront memory comes from a WavefrontAllocator (see allocator.hpp)
+// - the seam the PIM port replaces with the WRAM/MRAM allocator.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "align/aligner.hpp"
+#include "wfa/allocator.hpp"
+#include "wfa/wavefront.hpp"
+
+namespace pimwfa::wfa {
+
+class WfaAligner final : public align::PairAligner {
+ public:
+  // Adaptive wavefront reduction (the "WFA-Adapt" heuristic of the WFA
+  // paper): after each extension, diagonals whose remaining distance to
+  // the end exceeds the best diagonal's by more than `max_distance_diff`
+  // are dropped. Trades exactness for speed on divergent pairs.
+  struct Heuristic {
+    bool enabled = false;
+    i32 min_wavefront_length = 10;  // never reduce below this many diagonals
+    i32 max_distance_diff = 50;
+  };
+
+  // Wavefront retention policy (WFA2-lib's "memory modes").
+  enum class MemoryMode {
+    // Keep every wavefront: O(s^2) memory, enables the CIGAR backtrace.
+    kHigh,
+    // Keep only the last max(x, o+e)+1 wavefronts in a ring: memory
+    // bounded by O(max_penalty * (n+m)) independent of the score. Applies
+    // to score-only alignment; full alignments always retain (a backtrace
+    // needs the history).
+    kLow,
+  };
+
+  struct Options {
+    align::Penalties penalties = align::Penalties::defaults();
+    // Hard cap on the alignment score; 0 means "auto" (the worst-case
+    // score of each pair, which always terminates). A positive cap turns
+    // WFA into a thresholded aligner: exceeding pairs throw Error.
+    i64 max_score = 0;
+    MemoryMode memory_mode = MemoryMode::kHigh;
+    Heuristic heuristic{};
+  };
+
+  // If `allocator` is null the aligner owns a SlabAllocator.
+  explicit WfaAligner(Options options,
+                      WavefrontAllocator* allocator = nullptr);
+  explicit WfaAligner(align::Penalties penalties)
+      : WfaAligner(Options{penalties, 0}) {}
+
+  align::AlignmentResult align(std::string_view pattern, std::string_view text,
+                               align::AlignmentScope scope) override;
+
+  std::string name() const override {
+    return options_.heuristic.enabled ? "wfa-adapt" : "wfa";
+  }
+
+  const align::Penalties& penalties() const noexcept {
+    return options_.penalties;
+  }
+
+  // Cumulative work counters (see WfaCounters); reset with reset_counters().
+  const WfaCounters& counters() const noexcept { return counters_; }
+  void reset_counters() noexcept { counters_.reset(); }
+
+  WavefrontAllocator& allocator() noexcept { return *allocator_; }
+
+ private:
+  Wavefront new_wavefront(i32 lo, i32 hi);
+  // Extend matches along every diagonal of `m`; returns true if the
+  // termination cell (k = tlen - plen reaching offset tlen) was hit.
+  bool extend_and_check(Wavefront& m, std::string_view pattern,
+                        std::string_view text);
+  // Compute wavefront set for `score` from stored predecessors.
+  void compute_next(i64 score, usize plen, usize tlen);
+  // Ring-buffered score-only pass (MemoryMode::kLow).
+  i64 score_low_memory(std::string_view pattern, std::string_view text,
+                       i64 score_cap);
+  // Apply adaptive reduction to the freshly extended set (heuristic mode).
+  void reduce(WavefrontSet& set, i32 plen, i32 tlen);
+  seq::Cigar backtrace(i64 final_score, std::string_view pattern,
+                       std::string_view text);
+
+  Options options_;
+  std::unique_ptr<SlabAllocator> owned_allocator_;
+  WavefrontAllocator* allocator_;
+  std::vector<WavefrontSet> sets_;  // indexed by score (bookkeeping only)
+  // Ring storage for MemoryMode::kLow (reused across alignments).
+  struct RingSlot {
+    WavefrontSet set;
+    std::vector<Offset> m, i, d;
+  };
+  std::vector<RingSlot> ring_;
+  WfaCounters counters_;
+};
+
+}  // namespace pimwfa::wfa

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "align/verify.hpp"
+#include "cpu/cpu_batch.hpp"
+#include "cpu/scaling_model.hpp"
+#include "seq/generator.hpp"
+#include "wfa/wfa_aligner.hpp"
+
+namespace pimwfa::cpu {
+namespace {
+
+using align::AlignmentScope;
+using align::Penalties;
+
+TEST(CpuBatch, SingleThreadMatchesDirectAligner) {
+  const seq::ReadPairSet batch = seq::fig1_dataset(50, 0.04, 21);
+  CpuBatchAligner aligner({Penalties::defaults(), 1});
+  const CpuBatchResult result =
+      aligner.align_batch(batch, AlignmentScope::kFull);
+  ASSERT_EQ(result.results.size(), 50u);
+  wfa::WfaAligner direct(Penalties::defaults());
+  for (usize i = 0; i < batch.size(); ++i) {
+    const auto expected =
+        direct.align(batch[i].pattern, batch[i].text, AlignmentScope::kFull);
+    EXPECT_EQ(result.results[i], expected);
+  }
+}
+
+TEST(CpuBatch, MultiThreadMatchesSingleThread) {
+  const seq::ReadPairSet batch = seq::fig1_dataset(80, 0.02, 22);
+  CpuBatchAligner one({Penalties::defaults(), 1});
+  CpuBatchAligner four({Penalties::defaults(), 4});
+  const CpuBatchResult a = one.align_batch(batch, AlignmentScope::kFull);
+  const CpuBatchResult b = four.align_batch(batch, AlignmentScope::kFull);
+  EXPECT_EQ(a.results, b.results);
+}
+
+TEST(CpuBatch, CountersAndTimingPopulated) {
+  const seq::ReadPairSet batch = seq::fig1_dataset(30, 0.02, 23);
+  CpuBatchAligner aligner({Penalties::defaults(), 2});
+  const CpuBatchResult result =
+      aligner.align_batch(batch, AlignmentScope::kScoreOnly);
+  EXPECT_EQ(result.work.alignments, 30u);
+  EXPECT_GT(result.work.allocated_bytes, 0u);
+  EXPECT_GT(result.allocator_high_water, 0u);
+  EXPECT_GT(result.seconds, 0.0);
+}
+
+TEST(CpuBatch, EmptyBatch) {
+  CpuBatchAligner aligner({Penalties::defaults(), 2});
+  const CpuBatchResult result =
+      aligner.align_batch(seq::ReadPairSet{}, AlignmentScope::kFull);
+  EXPECT_TRUE(result.results.empty());
+}
+
+TEST(SystemModel, EffectiveParallelism) {
+  const CpuSystemModel system;
+  EXPECT_EQ(system.max_threads(), 56u);
+  EXPECT_EQ(system.cores(), 28u);
+  EXPECT_DOUBLE_EQ(system.effective_parallelism(1), 1.0);
+  EXPECT_DOUBLE_EQ(system.effective_parallelism(28), 28.0);
+  // 56 threads = 28 cores x SMT yield.
+  EXPECT_DOUBLE_EQ(system.effective_parallelism(56), 28.0 * system.smt_yield);
+  // More threads than the machine has cannot help.
+  EXPECT_DOUBLE_EQ(system.effective_parallelism(100),
+                   system.effective_parallelism(56));
+  // Monotone non-decreasing.
+  double prev = 0;
+  for (usize n = 1; n <= 56; ++n) {
+    const double eff = system.effective_parallelism(n);
+    EXPECT_GE(eff, prev);
+    prev = eff;
+  }
+}
+
+TEST(Scaling, ComputeBoundRegion) {
+  const CpuSystemModel system;
+  // Negligible traffic: perfect compute scaling up to the core count.
+  const ScalingModel model(system, 100.0, 0.0);
+  EXPECT_DOUBLE_EQ(model.project(1), 100.0);
+  EXPECT_DOUBLE_EQ(model.project(4), 25.0);
+  EXPECT_DOUBLE_EQ(model.project(28), 100.0 / 28);
+}
+
+TEST(Scaling, MemoryFloorDominates) {
+  const CpuSystemModel system;
+  // Traffic so large the floor binds at every thread count > 1.
+  const double traffic = system.mem_bandwidth * 60.0;  // 60 s floor
+  const ScalingModel model(system, 100.0, traffic);
+  EXPECT_DOUBLE_EQ(model.project(56), 60.0);
+  EXPECT_DOUBLE_EQ(model.project(16), 60.0);
+  EXPECT_EQ(model.saturation_threads(), 2u);
+}
+
+TEST(Scaling, MonotoneNonIncreasingInThreads) {
+  const CpuSystemModel system;
+  const ScalingModel model(system, 30.0, system.mem_bandwidth * 1.5);
+  double prev = 1e300;
+  for (usize n = 1; n <= 56; ++n) {
+    const double t = model.project(n);
+    EXPECT_LE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Scaling, SaturationThreadsConsistent) {
+  const CpuSystemModel system;
+  const ScalingModel model(system, 10.0, system.mem_bandwidth * 1.0);
+  const usize saturation = model.saturation_threads();
+  ASSERT_GE(saturation, 1u);
+  // At saturation the projection equals the floor.
+  EXPECT_DOUBLE_EQ(model.project(saturation), model.memory_floor_seconds());
+}
+
+TEST(Scaling, RejectsBadInputs) {
+  const CpuSystemModel system;
+  EXPECT_THROW(ScalingModel(system, 0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(ScalingModel(system, -1.0, 1.0), InvalidArgument);
+  const ScalingModel model(system, 1.0, 1.0);
+  EXPECT_THROW(model.project(0), InvalidArgument);
+}
+
+TEST(Traffic, EstimateComposition) {
+  const TrafficModel model{1000.0, 0.5};
+  EXPECT_DOUBLE_EQ(estimate_batch_traffic(10, 2000, model),
+                   10 * 1000.0 + 0.5 * 2000.0);
+  // The fixed per-pair term makes traffic E-insensitive at low error
+  // rates: doubling metadata moves total traffic by far less than 2x.
+  const double low = estimate_batch_traffic(1'000'000, 1'000'000'000);
+  const double high = estimate_batch_traffic(1'000'000, 2'000'000'000);
+  EXPECT_LT(high / low, 1.2);
+}
+
+}  // namespace
+}  // namespace pimwfa::cpu

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "baselines/nw.hpp"
+#include "seq/alphabet.hpp"
+#include "seq/fasta.hpp"
+#include "seq/generator.hpp"
+
+namespace pimwfa::seq {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_((std::filesystem::temp_directory_path() / name).string()) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(Generator, RandomSequenceLengthAndAlphabet) {
+  Rng rng(1);
+  const std::string s = random_sequence(rng, 500);
+  EXPECT_EQ(s.size(), 500u);
+  EXPECT_TRUE(is_valid_sequence(s));
+}
+
+TEST(Generator, MutateAppliesExactCount) {
+  Rng rng(2);
+  const std::string s = random_sequence(rng, 200);
+  MutationCounts counts;
+  mutate_sequence(rng, s, 10, MutationProfile{}, &counts);
+  EXPECT_EQ(counts.total(), 10u);
+}
+
+TEST(Generator, MutatedEditDistanceBounded) {
+  // The true edit distance never exceeds the number of applied edits.
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::string s = random_sequence(rng, 100);
+    const std::string t = mutate_sequence(rng, s, 4);
+    EXPECT_LE(baselines::levenshtein(s, t), 4);
+  }
+}
+
+TEST(Generator, ZeroErrorsIsIdentity) {
+  Rng rng(4);
+  const std::string s = random_sequence(rng, 50);
+  EXPECT_EQ(mutate_sequence(rng, s, 0), s);
+}
+
+TEST(Generator, SubstitutionOnlyProfileKeepsLength) {
+  Rng rng(5);
+  const std::string s = random_sequence(rng, 80);
+  const std::string t =
+      mutate_sequence(rng, s, 8, MutationProfile{1.0, 0.0, 0.0});
+  EXPECT_EQ(t.size(), s.size());
+}
+
+TEST(Generator, SubstitutionsAlwaysChangeBase) {
+  Rng rng(6);
+  const std::string s = random_sequence(rng, 60);
+  MutationCounts counts;
+  const std::string t =
+      mutate_sequence(rng, s, 6, MutationProfile{1.0, 0.0, 0.0}, &counts);
+  EXPECT_EQ(counts.substitutions, 6u);
+  usize diffs = 0;
+  for (usize i = 0; i < s.size(); ++i) diffs += (s[i] != t[i]) ? 1 : 0;
+  // Two substitutions can hit the same position; at least one diff remains.
+  EXPECT_GE(diffs, 1u);
+  EXPECT_LE(diffs, 6u);
+}
+
+TEST(Generator, ErrorsFor) {
+  EXPECT_EQ(errors_for(100, 0.02), 2u);
+  EXPECT_EQ(errors_for(100, 0.04), 4u);
+  EXPECT_EQ(errors_for(100, 0.0), 0u);
+  EXPECT_EQ(errors_for(150, 0.01), 2u);  // ceil(1.5)
+}
+
+TEST(Generator, DatasetDeterministicForSeed) {
+  GeneratorConfig config;
+  config.pairs = 25;
+  config.seed = 77;
+  const ReadPairSet a = generate_dataset(config);
+  const ReadPairSet b = generate_dataset(config);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Generator, DatasetMetadata) {
+  GeneratorConfig config;
+  config.pairs = 10;
+  config.read_length = 64;
+  config.error_rate = 0.05;
+  config.seed = 9;
+  const ReadPairSet set = generate_dataset(config);
+  EXPECT_EQ(set.size(), 10u);
+  EXPECT_EQ(set.nominal_read_length, 64u);
+  EXPECT_DOUBLE_EQ(set.error_rate, 0.05);
+  EXPECT_EQ(set.seed, 9u);
+  for (const auto& pair : set.pairs()) {
+    EXPECT_EQ(pair.pattern.size(), 64u);
+  }
+}
+
+TEST(Generator, Fig1DatasetShape) {
+  const ReadPairSet set = fig1_dataset(100, 0.02);
+  EXPECT_EQ(set.size(), 100u);
+  const DatasetStats stats = set.stats();
+  EXPECT_DOUBLE_EQ(stats.mean_pattern_length, 100.0);
+  // Texts vary by at most the number of indels (<= 2 at E=2%).
+  EXPECT_GE(stats.min_length, 98u);
+  EXPECT_LE(stats.max_length, 102u);
+}
+
+TEST(Dataset, StatsEmpty) {
+  const DatasetStats stats = ReadPairSet{}.stats();
+  EXPECT_EQ(stats.pairs, 0u);
+  EXPECT_EQ(stats.total_bases, 0u);
+}
+
+TEST(Dataset, SaveLoadRoundTrip) {
+  const ReadPairSet original = fig1_dataset(37, 0.04, 123);
+  TempFile file("pimwfa_test_dataset.bin");
+  original.save(file.path());
+  const ReadPairSet loaded = ReadPairSet::load(file.path());
+  EXPECT_EQ(loaded, original);
+  EXPECT_EQ(loaded.seed, original.seed);
+  EXPECT_DOUBLE_EQ(loaded.error_rate, original.error_rate);
+  EXPECT_EQ(loaded.nominal_read_length, original.nominal_read_length);
+}
+
+TEST(Dataset, LoadRejectsGarbage) {
+  TempFile file("pimwfa_test_garbage.bin");
+  {
+    std::ofstream os(file.path(), std::ios::binary);
+    os << "this is not a dataset";
+  }
+  EXPECT_THROW(ReadPairSet::load(file.path()), IoError);
+}
+
+TEST(Dataset, LoadMissingFileThrows) {
+  EXPECT_THROW(ReadPairSet::load("/nonexistent/nope.bin"), IoError);
+}
+
+TEST(Dataset, SampleEvery) {
+  const ReadPairSet set = fig1_dataset(10, 0.02);
+  const ReadPairSet sampled = set.sample_every(3);
+  ASSERT_EQ(sampled.size(), 4u);  // indices 0,3,6,9
+  EXPECT_EQ(sampled[0], set[0]);
+  EXPECT_EQ(sampled[3], set[9]);
+}
+
+TEST(Dataset, MaxLengths) {
+  ReadPairSet set;
+  set.add({"ACGT", "AC"});
+  set.add({"AC", "ACGTACGT"});
+  EXPECT_EQ(set.max_pattern_length(), 4u);
+  EXPECT_EQ(set.max_text_length(), 8u);
+}
+
+TEST(Fasta, ReadBasic) {
+  std::istringstream is(">r1 desc\nACGT\nACGT\n>r2\nTTTT\n");
+  const auto records = read_fasta(is);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, "r1 desc");
+  EXPECT_EQ(records[0].sequence, "ACGTACGT");
+  EXPECT_EQ(records[1].sequence, "TTTT");
+}
+
+TEST(Fasta, RejectsHeaderlessData) {
+  std::istringstream is("ACGT\n");
+  EXPECT_THROW(read_fasta(is), IoError);
+}
+
+TEST(Fasta, WriteReadRoundTrip) {
+  const std::vector<FastaRecord> records = {{"a", "ACGTACGTACGT"},
+                                            {"b", "TT"}};
+  std::stringstream ss;
+  write_fasta(ss, records, 5);
+  EXPECT_EQ(read_fasta(ss), records);
+}
+
+TEST(Fastq, ReadBasic) {
+  std::istringstream is("@r1\nACGT\n+\nIIII\n@r2\nTT\n+\n##\n");
+  const auto records = read_fastq(is);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].sequence, "ACGT");
+  EXPECT_EQ(records[0].quality, "IIII");
+}
+
+TEST(Fastq, RejectsLengthMismatch) {
+  std::istringstream is("@r1\nACGT\n+\nII\n");
+  EXPECT_THROW(read_fastq(is), IoError);
+}
+
+TEST(Fastq, WriteReadRoundTrip) {
+  const std::vector<FastqRecord> records = {{"x", "ACGT", "IIII"}};
+  std::stringstream ss;
+  write_fastq(ss, records);
+  EXPECT_EQ(read_fastq(ss), records);
+}
+
+TEST(SeqPairs, ReadWriteRoundTrip) {
+  const ReadPairSet set = fig1_dataset(9, 0.02);
+  std::stringstream ss;
+  write_seq_pairs(ss, set);
+  const ReadPairSet loaded = read_seq_pairs(ss);
+  EXPECT_EQ(loaded, set);
+}
+
+TEST(SeqPairs, RejectsMalformed) {
+  {
+    std::istringstream is(">AA\n>CC\n");
+    EXPECT_THROW(read_seq_pairs(is), IoError);
+  }
+  {
+    std::istringstream is("<AA\n");
+    EXPECT_THROW(read_seq_pairs(is), IoError);
+  }
+  {
+    std::istringstream is(">AA\n");
+    EXPECT_THROW(read_seq_pairs(is), IoError);
+  }
+}
+
+}  // namespace
+}  // namespace pimwfa::seq

@@ -1,0 +1,171 @@
+// Failure-injection tests: every simulated hardware rule must trap as a
+// typed HardwareFault, from raw memory accesses up through the full PIM
+// batch pipeline. On real UPMEM these bugs corrupt silently; the simulator
+// existing to catch them is part of its value.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "align/verify.hpp"
+#include "pim/host.hpp"
+#include "pim/meta_space.hpp"
+#include "seq/generator.hpp"
+
+namespace pimwfa {
+namespace {
+
+using upmem::Dpu;
+using upmem::DpuKernel;
+using upmem::SystemConfig;
+using upmem::TaskletCtx;
+
+class LambdaKernel final : public DpuKernel {
+ public:
+  explicit LambdaKernel(std::function<void(TaskletCtx&)> body)
+      : body_(std::move(body)) {}
+  void run(TaskletCtx& ctx) override { body_(ctx); }
+
+ private:
+  std::function<void(TaskletCtx&)> body_;
+};
+
+void run_tasklet(const std::function<void(TaskletCtx&)>& body) {
+  const SystemConfig config = SystemConfig::tiny(1);
+  Dpu dpu(config, 0);
+  LambdaKernel kernel(body);
+  dpu.launch(kernel, 1);
+}
+
+TEST(Faults, MisalignedDmaFromKernel) {
+  EXPECT_THROW(run_tasklet([](TaskletCtx& ctx) {
+                 const u64 buf = ctx.wram_alloc(16);
+                 ctx.mram_read(4, buf, 8);  // MRAM address not 8-aligned
+               }),
+               HardwareFault);
+  EXPECT_THROW(run_tasklet([](TaskletCtx& ctx) {
+                 const u64 buf = ctx.wram_alloc(16);
+                 ctx.mram_read(0, buf, 12);  // size not a multiple of 8
+               }),
+               HardwareFault);
+  EXPECT_THROW(run_tasklet([](TaskletCtx& ctx) {
+                 const u64 buf = ctx.wram_alloc(4096);
+                 ctx.mram_read(0, buf, 4096);  // beyond the 2048B DMA limit
+               }),
+               HardwareFault);
+}
+
+TEST(Faults, LargeTransferHelperStaysLegal) {
+  // mram_read_large must chunk a 1MB move into legal DMAs.
+  EXPECT_NO_THROW(run_tasklet([](TaskletCtx& ctx) {
+    const u64 buf = ctx.wram_alloc(4096);
+    for (u64 offset = 0; offset < (1 << 20); offset += 4096) {
+      ctx.mram_read_large(offset, buf, 4096);
+    }
+  }));
+}
+
+TEST(Faults, MramOutOfBounds) {
+  EXPECT_THROW(run_tasklet([](TaskletCtx& ctx) {
+                 const u64 buf = ctx.wram_alloc(16);
+                 ctx.mram_read(64ull * 1024 * 1024, buf, 8);
+               }),
+               HardwareFault);
+}
+
+TEST(Faults, WramExhaustionInMetaSpace) {
+  EXPECT_THROW(
+      run_tasklet([](TaskletCtx& ctx) {
+        // A WRAM arena larger than the scratchpad cannot exist.
+        pim::MetaSpace::make_wram(ctx, 128 * 1024, 10);
+      }),
+      HardwareFault);
+}
+
+TEST(Faults, MetadataArenaExhaustion) {
+  EXPECT_THROW(run_tasklet([](TaskletCtx& ctx) {
+                 auto space = pim::MetaSpace::make_mram(ctx, 4096, 2048, 8);
+                 while (true) space.alloc_offsets(64);
+               }),
+               HardwareFault);
+}
+
+TEST(Faults, DescriptorIndexOutOfTable) {
+  EXPECT_THROW(run_tasklet([](TaskletCtx& ctx) {
+                 auto space = pim::MetaSpace::make_mram(ctx, 4096, 4096, 8);
+                 space.read_desc(9);  // table holds scores 0..8
+               }),
+               HardwareFault);
+}
+
+TEST(Faults, BatchScoreCapExceededSurfacesToHost) {
+  // A batch whose score cap is below the pairs' true scores must fault in
+  // the kernel and propagate out of align_batch.
+  seq::ReadPairSet batch;
+  batch.add({"AAAA", "TTTT"});  // score 16 > cap 8
+  pim::PimOptions options;
+  options.system = upmem::SystemConfig::tiny(1);
+  options.nr_tasklets = 1;
+  options.max_score = 8;
+  pim::PimBatchAligner aligner(options);
+  EXPECT_THROW(aligner.align_batch(batch, align::AlignmentScope::kFull),
+               HardwareFault);
+}
+
+TEST(Faults, GenerousCapSucceedsOnSamePair) {
+  seq::ReadPairSet batch;
+  batch.add({"AAAA", "TTTT"});
+  pim::PimOptions options;
+  options.system = upmem::SystemConfig::tiny(1);
+  options.nr_tasklets = 1;
+  options.max_score = 64;
+  pim::PimBatchAligner aligner(options);
+  const auto result = aligner.align_batch(batch, align::AlignmentScope::kFull);
+  EXPECT_EQ(result.results[0].score, 16);
+}
+
+TEST(Faults, OversizedBatchRejected) {
+  // More pair bytes than MRAM: layout planning must refuse.
+  pim::BatchLayout::Params params;
+  params.nr_pairs = 500'000;
+  params.max_pattern = 100;
+  params.max_text = 100;
+  EXPECT_THROW(pim::BatchLayout::plan(params, 32ull << 20), Error);
+}
+
+TEST(Faults, SimulatingMoreDpusThanSystemRejected) {
+  EXPECT_THROW(upmem::PimSystem(SystemConfig::tiny(2), 4), InvalidArgument);
+}
+
+TEST(Faults, VerifyCatchesLyingResults) {
+  // A result whose CIGAR does not match its score must be rejected.
+  align::AlignmentResult result;
+  result.score = 0;
+  result.cigar = seq::Cigar::from_ops("MXMM");
+  result.has_cigar = true;
+  EXPECT_THROW(
+      align::verify_result(result, "ACGT", "AGGT", align::Penalties::defaults()),
+      Error);
+  result.score = 4;  // the correct penalty for one mismatch
+  EXPECT_NO_THROW(
+      align::verify_result(result, "ACGT", "AGGT", align::Penalties::defaults()));
+}
+
+TEST(Faults, VerifyCatchesWrongPairCigar) {
+  align::AlignmentResult result;
+  result.score = 0;
+  result.cigar = seq::Cigar::from_ops("MMMM");
+  result.has_cigar = true;
+  EXPECT_THROW(
+      align::verify_result(result, "ACGT", "AGGT", align::Penalties::defaults()),
+      Error);
+}
+
+TEST(Faults, PenaltiesValidation) {
+  EXPECT_THROW((align::Penalties{0, 6, 2}).validate(), InvalidArgument);
+  EXPECT_THROW((align::Penalties{4, -1, 2}).validate(), InvalidArgument);
+  EXPECT_THROW((align::Penalties{4, 6, 0}).validate(), InvalidArgument);
+  EXPECT_NO_THROW((align::Penalties{4, 0, 2}).validate());
+}
+
+}  // namespace
+}  // namespace pimwfa

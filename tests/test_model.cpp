@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "model/fig1.hpp"
+
+namespace pimwfa::model {
+namespace {
+
+Fig1Options small_options() {
+  Fig1Options options;
+  // A miniature system so the whole experiment runs in milliseconds:
+  // 8 DPUs, 2 simulated, 400 modeled pairs.
+  options.system = upmem::SystemConfig::tiny(8);
+  options.pairs = 400;
+  options.simulate_dpus = 2;
+  options.nr_tasklets = 8;
+  options.cpu_repeats = 1;
+  return options;
+}
+
+TEST(Fig1, ProducesAllRows) {
+  const Fig1Result result = run_fig1(small_options());
+  // 2 error rates x (5 CPU + PIM Total + PIM Kernel).
+  ASSERT_EQ(result.rows.size(), 2u * 7u);
+  ASSERT_EQ(result.details.size(), 2u);
+  for (const Fig1Row& row : result.rows) {
+    EXPECT_GT(row.seconds, 0.0) << row.config;
+    EXPECT_GT(row.throughput, 0.0) << row.config;
+  }
+}
+
+TEST(Fig1, CrossChecksPimAgainstCpu) {
+  const Fig1Result result = run_fig1(small_options());
+  for (const auto& detail : result.details) {
+    EXPECT_GT(detail.verified_pairs, 0u);
+    // The sample is exactly the simulated DPUs' share; all of it verifies.
+    EXPECT_EQ(detail.verified_pairs, detail.sample_pairs);
+    EXPECT_EQ(detail.sample_pairs, 100u);  // 2 of 8 DPUs x 400 pairs
+  }
+}
+
+TEST(Fig1, ShapeProperties) {
+  const Fig1Result result = run_fig1(small_options());
+  for (const auto& detail : result.details) {
+    // Kernel is part of Total.
+    EXPECT_LT(detail.pim.kernel_seconds, detail.pim.total_seconds());
+    EXPECT_GT(detail.speedup_kernel, detail.speedup_total);
+    // CPU single thread is the slowest CPU configuration.
+    EXPECT_GT(detail.cpu_t1_seconds, detail.cpu_56t_seconds);
+  }
+  // More errors = more WFA work = slower kernel.
+  ASSERT_EQ(result.details.size(), 2u);
+  EXPECT_LT(result.details[0].pim.kernel_seconds,
+            result.details[1].pim.kernel_seconds);
+}
+
+TEST(Fig1, CpuRowsMonotoneInThreads) {
+  const Fig1Result result = run_fig1(small_options());
+  for (const double e : {0.02, 0.04}) {
+    double prev = 1e300;
+    for (const Fig1Row& row : result.rows) {
+      if (row.error_rate != e || row.config.find("CPU") != 0) continue;
+      EXPECT_LE(row.seconds, prev) << row.config;
+      prev = row.seconds;
+    }
+  }
+}
+
+TEST(Fig1, PrintAndCsv) {
+  const Fig1Result result = run_fig1(small_options());
+  std::ostringstream oss;
+  result.print(oss);
+  const std::string text = oss.str();
+  EXPECT_NE(text.find("PIM Total"), std::string::npos);
+  EXPECT_NE(text.find("PIM Kernel"), std::string::npos);
+  EXPECT_NE(text.find("CPU 56t"), std::string::npos);
+  EXPECT_NE(text.find("cross-checked"), std::string::npos);
+
+  const std::string path = ::testing::TempDir() + "/fig1_test.csv";
+  result.write_csv(path);
+  std::ifstream is(path);
+  std::string header;
+  std::getline(is, header);
+  EXPECT_EQ(header, "error_rate,config,seconds,pairs_per_second");
+  usize lines = 0;
+  std::string line;
+  while (std::getline(is, line)) ++lines;
+  EXPECT_EQ(lines, result.rows.size());
+  std::remove(path.c_str());
+}
+
+TEST(Fig1, RejectsImpossibleConfigs) {
+  Fig1Options options = small_options();
+  options.pairs = 2;  // fewer pairs than DPUs
+  EXPECT_THROW(run_fig1(options), InvalidArgument);
+  options = small_options();
+  options.simulate_dpus = 0;
+  EXPECT_THROW(run_fig1(options), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pimwfa::model

@@ -1,0 +1,394 @@
+#include <gtest/gtest.h>
+
+#include "align/verify.hpp"
+#include "pim/host.hpp"
+#include "pim/meta_space.hpp"
+#include "seq/generator.hpp"
+#include "test_util.hpp"
+#include "wfa/wfa_aligner.hpp"
+
+namespace pimwfa::pim {
+namespace {
+
+using align::AlignmentScope;
+using align::Penalties;
+
+TEST(BatchLayout, PlanBasics) {
+  BatchLayout::Params params;
+  params.nr_pairs = 100;
+  params.nr_tasklets = 24;
+  params.max_pattern = 100;
+  params.max_text = 102;
+  params.penalties = Penalties::defaults();
+  params.full_alignment = true;
+  const BatchLayout layout = BatchLayout::plan(params, 64ull << 20);
+  const BatchHeader& h = layout.header();
+  EXPECT_EQ(h.pairs_addr % 8, 0u);
+  EXPECT_EQ(h.pair_stride % 8, 0u);
+  EXPECT_EQ(h.pair_stride, 8u + 104u + 104u);
+  EXPECT_EQ(h.result_stride, 8u + 208u);
+  EXPECT_EQ(h.results_addr, h.pairs_addr + 100 * h.pair_stride);
+  EXPECT_EQ(h.scratch_stride % 8, 0u);
+  EXPECT_GT(h.scratch_stride, layout.desc_table_bytes());
+  EXPECT_LE(layout.total_bytes(), 64ull << 20);
+  // Worst-case score for 100x102 at x=4,o=6,e=2.
+  EXPECT_EQ(h.max_score,
+            static_cast<u64>(align::worst_case_score(params.penalties, 100, 102)));
+}
+
+TEST(BatchLayout, ScoreOnlyHasNoCigarField) {
+  BatchLayout::Params params;
+  params.nr_pairs = 10;
+  params.max_pattern = 50;
+  params.max_text = 50;
+  params.full_alignment = false;
+  const BatchLayout layout = BatchLayout::plan(params, 64ull << 20);
+  EXPECT_EQ(layout.header().result_stride, 8u);
+  EXPECT_EQ(layout.cigar_field_bytes(), 0u);
+}
+
+TEST(BatchLayout, RejectsOverfullMram) {
+  BatchLayout::Params params;
+  params.nr_pairs = 1'000'000;
+  params.max_pattern = 100;
+  params.max_text = 100;
+  EXPECT_THROW(BatchLayout::plan(params, 1ull << 20), Error);
+}
+
+TEST(BatchLayout, WramPolicyHasNoArenas) {
+  BatchLayout::Params params;
+  params.nr_pairs = 10;
+  params.max_pattern = 50;
+  params.max_text = 50;
+  params.policy = MetadataPolicy::kWram;
+  const BatchLayout layout = BatchLayout::plan(params, 64ull << 20);
+  EXPECT_EQ(layout.header().scratch_stride, 0u);
+}
+
+// MetaSpace unit tests need a live DPU + tasklet context.
+class MetaSpaceTest : public ::testing::Test {
+ protected:
+  upmem::SystemConfig config_ = upmem::SystemConfig::tiny(1);
+  upmem::Dpu dpu_{config_, 0};
+};
+
+// Runs `body` as a single-tasklet kernel.
+class LambdaKernel final : public upmem::DpuKernel {
+ public:
+  explicit LambdaKernel(std::function<void(upmem::TaskletCtx&)> body)
+      : body_(std::move(body)) {}
+  void run(upmem::TaskletCtx& ctx) override { body_(ctx); }
+
+ private:
+  std::function<void(upmem::TaskletCtx&)> body_;
+};
+
+TEST_F(MetaSpaceTest, DescRoundTripMram) {
+  LambdaKernel kernel([](upmem::TaskletCtx& ctx) {
+    MetaSpace space = MetaSpace::make_mram(ctx, 1 << 20, 1 << 20, 100);
+    WfDesc desc;
+    desc.m_addr = 0x12340;
+    desc.i_addr = 0x56780;
+    desc.lo = -5;
+    desc.hi = 7;
+    space.write_desc(42, desc);
+    // Evict way 42%4=2 by writing another score mapping to it.
+    WfDesc other;
+    other.m_addr = 0x999;
+    space.write_desc(46, other);
+    const WfDesc back = space.read_desc(42);  // must come from MRAM
+    EXPECT_EQ(back.m_addr, 0x12340u);
+    EXPECT_EQ(back.i_addr, 0x56780u);
+    EXPECT_EQ(back.lo, -5);
+    EXPECT_EQ(back.hi, 7);
+    EXPECT_FALSE(space.read_desc(46).exists() == false);
+  });
+  dpu_.launch(kernel, 1);
+}
+
+TEST_F(MetaSpaceTest, AllocAlignmentAndExhaustion) {
+  LambdaKernel kernel([](upmem::TaskletCtx& ctx) {
+    // Tiny arena: desc table for max_score=10 (11*32=352B) + small heap.
+    MetaSpace space = MetaSpace::make_mram(ctx, 4096, 1024, 10);
+    const u64 a = space.alloc_offsets(3);  // 12 -> 16 bytes
+    const u64 b = space.alloc_offsets(1);
+    EXPECT_EQ(a % 8, 0u);
+    EXPECT_EQ(b % 8, 0u);
+    EXPECT_EQ(b - a, 16u);
+    EXPECT_THROW(space.alloc_offsets(10000), HardwareFault);
+    const u64 used = space.heap_used();
+    space.reset();
+    EXPECT_EQ(space.heap_used(), 0u);
+    EXPECT_GE(space.heap_high_water(), used);
+  });
+  dpu_.launch(kernel, 1);
+}
+
+TEST_F(MetaSpaceTest, WindowRoundTripMram) {
+  LambdaKernel kernel([](upmem::TaskletCtx& ctx) {
+    MetaSpace space = MetaSpace::make_mram(ctx, 1 << 16, 1 << 16, 10);
+    const i32 lo = -40;
+    const i32 hi = 60;
+    const u64 handle = space.alloc_offsets(static_cast<usize>(hi - lo + 1));
+    OffsetWindow w(space);
+    w.bind(handle, lo, hi, true);
+    for (i32 k = lo; k <= hi; ++k) w.set(k, k * 3);
+    w.flush();
+    // Re-read through a fresh window and through single-element reads.
+    OffsetWindow r(space);
+    r.bind(handle, lo, hi, false);
+    for (i32 k = lo; k <= hi; ++k) {
+      EXPECT_EQ(r.get(k), k * 3) << "k=" << k;
+      EXPECT_EQ(space.read_offset(handle, lo, hi, k), k * 3);
+    }
+    // Out-of-range and null handles.
+    EXPECT_EQ(r.get(lo - 1), wfa::kOffsetNone);
+    EXPECT_EQ(r.get(hi + 1), wfa::kOffsetNone);
+    OffsetWindow n(space);
+    n.bind(0, 0, 10, false);
+    EXPECT_EQ(n.get(5), wfa::kOffsetNone);
+    EXPECT_EQ(space.read_offset(0, 0, 10, 5), wfa::kOffsetNone);
+  });
+  dpu_.launch(kernel, 1);
+}
+
+TEST_F(MetaSpaceTest, WindowDmaTrafficIsWindowed) {
+  LambdaKernel kernel([](upmem::TaskletCtx& ctx) {
+    MetaSpace space = MetaSpace::make_mram(ctx, 1 << 16, 1 << 16, 10);
+    const usize len = 256;
+    const u64 handle = space.alloc_offsets(len);
+    OffsetWindow w(space);
+    w.bind(handle, 0, static_cast<i32>(len) - 1, true);
+    const u64 calls_before = ctx.stats().dma_calls;
+    for (i32 k = 0; k < static_cast<i32>(len); ++k) w.set(k, k);
+    w.flush();
+    const u64 calls = ctx.stats().dma_calls - calls_before;
+    // Sequential pass over 256 elements with a 32-element window:
+    // one load + one flush per window reposition, not per element.
+    EXPECT_LE(calls, 2 * (len / OffsetWindow::kWindowOffsets) + 2);
+  });
+  dpu_.launch(kernel, 1);
+}
+
+TEST_F(MetaSpaceTest, WramModeDirect) {
+  LambdaKernel kernel([](upmem::TaskletCtx& ctx) {
+    MetaSpace space = MetaSpace::make_wram(ctx, 8192, 20);
+    const u64 handle = space.alloc_offsets(64);
+    OffsetWindow w(space);
+    w.bind(handle, 0, 63, true);
+    const u64 dma_before = ctx.stats().dma_calls;
+    for (i32 k = 0; k < 64; ++k) w.set(k, 7 * k);
+    for (i32 k = 0; k < 64; ++k) EXPECT_EQ(w.get(k), 7 * k);
+    EXPECT_EQ(ctx.stats().dma_calls, dma_before);  // no DMA in WRAM mode
+    WfDesc desc;
+    desc.m_addr = handle;
+    desc.lo = 1;
+    space.write_desc(3, desc);
+    EXPECT_EQ(space.read_desc(3).lo, 1);
+  });
+  dpu_.launch(kernel, 1);
+}
+
+// --- end-to-end: PIM batch == host WFA ---------------------------------
+
+PimOptions tiny_options(usize dpus, usize tasklets,
+                        MetadataPolicy policy = MetadataPolicy::kMram) {
+  PimOptions options;
+  options.system = upmem::SystemConfig::tiny(dpus);
+  options.nr_tasklets = tasklets;
+  options.policy = policy;
+  return options;
+}
+
+void expect_matches_host(const seq::ReadPairSet& batch,
+                         const PimBatchResult& result,
+                         const Penalties& penalties, bool full) {
+  ASSERT_EQ(result.results.size(), batch.size());
+  wfa::WfaAligner host(penalties);
+  for (usize i = 0; i < batch.size(); ++i) {
+    const auto expected = host.align(
+        batch[i].pattern, batch[i].text,
+        full ? AlignmentScope::kFull : AlignmentScope::kScoreOnly);
+    EXPECT_EQ(result.results[i].score, expected.score) << "pair " << i;
+    if (full) {
+      EXPECT_EQ(result.results[i].cigar, expected.cigar) << "pair " << i;
+      EXPECT_NO_THROW(align::verify_result(result.results[i],
+                                           batch[i].pattern, batch[i].text,
+                                           penalties));
+    }
+  }
+}
+
+TEST(PimBatch, MatchesHostWfaExactly) {
+  const seq::ReadPairSet batch = seq::fig1_dataset(60, 0.04, 7);
+  PimBatchAligner aligner(tiny_options(4, 8));
+  const PimBatchResult result =
+      aligner.align_batch(batch, AlignmentScope::kFull);
+  expect_matches_host(batch, result, Penalties::defaults(), true);
+  EXPECT_EQ(result.timings.pairs, 60u);
+  EXPECT_GT(result.timings.kernel_cycles_max, 0u);
+}
+
+TEST(PimBatch, ScoreOnlyMatchesHost) {
+  const seq::ReadPairSet batch = seq::fig1_dataset(40, 0.02, 8);
+  PimBatchAligner aligner(tiny_options(2, 12));
+  const PimBatchResult result =
+      aligner.align_batch(batch, AlignmentScope::kScoreOnly);
+  expect_matches_host(batch, result, Penalties::defaults(), false);
+}
+
+TEST(PimBatch, SingleTaskletSingleDpu) {
+  const seq::ReadPairSet batch = seq::fig1_dataset(10, 0.02, 9);
+  PimBatchAligner aligner(tiny_options(1, 1));
+  const PimBatchResult result =
+      aligner.align_batch(batch, AlignmentScope::kFull);
+  expect_matches_host(batch, result, Penalties::defaults(), true);
+}
+
+TEST(PimBatch, WramPolicyMatchesHostWithFewTasklets) {
+  // Metadata-in-WRAM works only with few tasklets and a bounded score cap.
+  seq::GeneratorConfig config;
+  config.pairs = 16;
+  config.read_length = 64;
+  config.error_rate = 0.04;
+  config.seed = 11;
+  const seq::ReadPairSet batch = seq::generate_dataset(config);
+  PimOptions options = tiny_options(2, 2, MetadataPolicy::kWram);
+  options.max_score = 64;
+  PimBatchAligner aligner(options);
+  const PimBatchResult result =
+      aligner.align_batch(batch, AlignmentScope::kFull);
+  expect_matches_host(batch, result, Penalties::defaults(), true);
+}
+
+TEST(PimBatch, WramPolicyFaultsWithManyTasklets) {
+  // The paper's observation: full per-tasklet metadata in 64KB WRAM cannot
+  // support the full tasklet count.
+  const seq::ReadPairSet batch = seq::fig1_dataset(48, 0.04, 12);
+  PimOptions options = tiny_options(1, 24, MetadataPolicy::kWram);
+  PimBatchAligner aligner(options);
+  EXPECT_THROW(aligner.align_batch(batch, AlignmentScope::kFull),
+               HardwareFault);
+}
+
+TEST(PimBatch, MramPolicySupportsAllTasklets) {
+  const seq::ReadPairSet batch = seq::fig1_dataset(48, 0.04, 12);
+  PimBatchAligner aligner(tiny_options(1, 24, MetadataPolicy::kMram));
+  const PimBatchResult result =
+      aligner.align_batch(batch, AlignmentScope::kFull);
+  expect_matches_host(batch, result, Penalties::defaults(), true);
+}
+
+TEST(PimBatch, UnevenPairDistribution) {
+  // 7 pairs over 3 DPUs: 3/2/2.
+  EXPECT_EQ(PimBatchAligner::dpu_pair_range(7, 3, 0),
+            (std::pair<usize, usize>{0, 3}));
+  EXPECT_EQ(PimBatchAligner::dpu_pair_range(7, 3, 1),
+            (std::pair<usize, usize>{3, 5}));
+  EXPECT_EQ(PimBatchAligner::dpu_pair_range(7, 3, 2),
+            (std::pair<usize, usize>{5, 7}));
+  const seq::ReadPairSet batch = seq::fig1_dataset(7, 0.02, 13);
+  PimBatchAligner aligner(tiny_options(3, 4));
+  const PimBatchResult result =
+      aligner.align_batch(batch, AlignmentScope::kFull);
+  expect_matches_host(batch, result, Penalties::defaults(), true);
+}
+
+TEST(PimBatch, EmptyAndDegeneratePairs) {
+  seq::ReadPairSet batch;
+  batch.add({"", ""});
+  batch.add({"ACGT", ""});
+  batch.add({"", "ACGT"});
+  batch.add({"ACGT", "ACGT"});
+  PimBatchAligner aligner(tiny_options(1, 2));
+  const PimBatchResult result =
+      aligner.align_batch(batch, AlignmentScope::kFull);
+  expect_matches_host(batch, result, Penalties::defaults(), true);
+}
+
+TEST(PimBatch, SubsetSimulationAccountsAllTraffic) {
+  const seq::ReadPairSet batch = seq::fig1_dataset(128, 0.02, 14);
+  PimOptions full_options = tiny_options(8, 8);
+  PimOptions subset_options = tiny_options(8, 8);
+  subset_options.simulate_dpus = 2;
+  PimBatchAligner full(full_options);
+  PimBatchAligner subset(subset_options);
+  const PimBatchResult full_result =
+      full.align_batch(batch, AlignmentScope::kScoreOnly);
+  const PimBatchResult subset_result =
+      subset.align_batch(batch, AlignmentScope::kScoreOnly);
+  // Transfer bytes are identical (unsimulated DPUs still cost bus time).
+  EXPECT_EQ(full_result.timings.bytes_to_device,
+            subset_result.timings.bytes_to_device);
+  EXPECT_EQ(full_result.timings.bytes_from_device,
+            subset_result.timings.bytes_from_device);
+  // Subset only materializes its DPUs' pairs.
+  EXPECT_EQ(subset_result.results.size(), 32u);  // 2 of 8 DPUs, 128 pairs
+  EXPECT_EQ(subset_result.timings.simulated_dpus, 2u);
+  // The subset's kernel estimate is a lower bound on the exact max (it
+  // sees fewer DPUs) but stays close under a homogeneous workload.
+  EXPECT_LE(subset_result.timings.kernel_cycles_max,
+            full_result.timings.kernel_cycles_max);
+  EXPECT_GT(static_cast<double>(subset_result.timings.kernel_cycles_max),
+            0.85 * static_cast<double>(full_result.timings.kernel_cycles_max));
+}
+
+TEST(PimBatch, TaskletScalingImprovesKernelTime) {
+  const seq::ReadPairSet batch = seq::fig1_dataset(96, 0.04, 15);
+  u64 prev_cycles = ~u64{0};
+  for (usize tasklets : {1u, 4u, 12u, 24u}) {
+    PimBatchAligner aligner(tiny_options(1, tasklets));
+    const PimBatchResult result =
+        aligner.align_batch(batch, AlignmentScope::kFull);
+    // Strict gains below pipeline saturation (11 tasklets); beyond it the
+    // pipeline is throughput-bound and cycles plateau (within jitter from
+    // pair-to-tasklet assignment).
+    if (tasklets <= 11) {
+      EXPECT_LT(result.timings.kernel_cycles_max, prev_cycles)
+          << "tasklets=" << tasklets;
+    } else {
+      EXPECT_LT(static_cast<double>(result.timings.kernel_cycles_max),
+                1.05 * static_cast<double>(prev_cycles))
+          << "tasklets=" << tasklets;
+    }
+    prev_cycles = result.timings.kernel_cycles_max;
+  }
+}
+
+TEST(PimBatch, PackedTransfersMatchAndShrinkTraffic) {
+  const seq::ReadPairSet batch = seq::fig1_dataset(64, 0.04, 17);
+  PimOptions plain_options = tiny_options(2, 8);
+  PimOptions packed_options = tiny_options(2, 8);
+  packed_options.packed_sequences = true;
+  PimBatchAligner plain(plain_options);
+  PimBatchAligner packed(packed_options);
+  const PimBatchResult a = plain.align_batch(batch, AlignmentScope::kFull);
+  const PimBatchResult b = packed.align_batch(batch, AlignmentScope::kFull);
+  // Identical results, ~4x less scatter traffic.
+  EXPECT_EQ(a.results, b.results);
+  expect_matches_host(batch, b, Penalties::defaults(), true);
+  EXPECT_LT(static_cast<double>(b.timings.bytes_to_device),
+            0.45 * static_cast<double>(a.timings.bytes_to_device));
+  EXPECT_LT(b.timings.scatter_seconds, a.timings.scatter_seconds);
+  // The DPU pays a small unpacking cost.
+  EXPECT_GT(b.timings.work.instructions, a.timings.work.instructions);
+}
+
+TEST(PimBatch, TimingBreakdownSane) {
+  const seq::ReadPairSet batch = seq::fig1_dataset(64, 0.02, 16);
+  PimBatchAligner aligner(tiny_options(4, 8));
+  const PimBatchResult result =
+      aligner.align_batch(batch, AlignmentScope::kFull);
+  const PimTimings& t = result.timings;
+  EXPECT_GT(t.scatter_seconds, 0.0);
+  EXPECT_GT(t.kernel_seconds, 0.0);
+  EXPECT_GT(t.gather_seconds, 0.0);
+  EXPECT_NEAR(t.total_seconds(),
+              t.scatter_seconds + t.kernel_seconds + t.gather_seconds, 1e-12);
+  EXPECT_GT(t.bytes_to_device, batch.stats().total_bases);
+  EXPECT_GT(t.work.instructions, 0u);
+  EXPECT_GT(t.work.dma_calls, 0u);
+}
+
+}  // namespace
+}  // namespace pimwfa::pim

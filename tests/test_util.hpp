@@ -1,0 +1,28 @@
+// Shared helpers for the pimwfa test suite.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "seq/generator.hpp"
+
+namespace pimwfa::testing {
+
+// A random (pattern, text) pair where the text is the pattern mutated by
+// `errors` random edits.
+inline seq::ReadPair random_pair(Rng& rng, usize length, usize errors) {
+  seq::ReadPair pair;
+  pair.pattern = seq::random_sequence(rng, length);
+  pair.text = seq::mutate_sequence(rng, pair.pattern, errors);
+  return pair;
+}
+
+// A fully random (unrelated) pair, worst case for aligners.
+inline seq::ReadPair unrelated_pair(Rng& rng, usize pattern_length,
+                                    usize text_length) {
+  return {seq::random_sequence(rng, pattern_length),
+          seq::random_sequence(rng, text_length)};
+}
+
+}  // namespace pimwfa::testing
