@@ -1,0 +1,19 @@
+# Project-wide compile options, attached to every target through the
+# pimwfa_options interface library (warnings, optional -Werror, optional
+# ASan/UBSan instrumentation for the sanitizer CI job).
+add_library(pimwfa_options INTERFACE)
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  target_compile_options(pimwfa_options INTERFACE -Wall -Wextra)
+  if(PIMWFA_WERROR)
+    target_compile_options(pimwfa_options INTERFACE -Werror)
+  endif()
+  if(PIMWFA_SANITIZE)
+    # Directory-scoped (not on the interface library) so third-party code
+    # pulled in by FetchContent - gtest in particular - is instrumented
+    # too; mixing instrumented and uninstrumented TUs across the gtest
+    # boundary risks ASan container-overflow false positives.
+    add_compile_options(-fsanitize=address,undefined -fno-omit-frame-pointer)
+    add_link_options(-fsanitize=address,undefined)
+  endif()
+endif()

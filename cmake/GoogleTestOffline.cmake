@@ -1,0 +1,44 @@
+# GoogleTest: FetchContent with an offline-friendly resolution order.
+#   1. A vendored/system googletest source tree (Debian/Ubuntu libgtest-dev
+#      installs one under /usr/src/googletest) - no network needed, and the
+#      framework is compiled with the project's own flags (sanitizers etc).
+#   2. An installed GTest package (GTestConfig.cmake or FindGTest).
+#   3. Network FetchContent as the last resort.
+# Defines PIMWFA_GTEST_MAIN, the target test binaries link against.
+include(FetchContent)
+
+set(PIMWFA_GTEST_SOURCE_DIR "/usr/src/googletest" CACHE PATH
+  "Local googletest source tree used before any network fetch")
+
+if(EXISTS "${PIMWFA_GTEST_SOURCE_DIR}/CMakeLists.txt")
+  FetchContent_Declare(googletest SOURCE_DIR "${PIMWFA_GTEST_SOURCE_DIR}")
+  set(PIMWFA_GTEST_FROM_SOURCE ON)
+else()
+  find_package(GTest QUIET)
+  # A found package still has to provide a usable main target (pre-3.20
+  # FindGTest defines GTest::Main, not GTest::gtest_main); anything short
+  # of that falls through to the network fetch.
+  if(NOT TARGET GTest::gtest_main AND NOT TARGET GTest::Main)
+    FetchContent_Declare(googletest
+      URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+      URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7)
+    set(PIMWFA_GTEST_FROM_SOURCE ON)
+  endif()
+endif()
+
+if(PIMWFA_GTEST_FROM_SOURCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+endif()
+
+if(TARGET GTest::gtest_main)
+  set(PIMWFA_GTEST_MAIN GTest::gtest_main)
+elseif(TARGET gtest_main)
+  set(PIMWFA_GTEST_MAIN gtest_main)
+elseif(TARGET GTest::Main)
+  set(PIMWFA_GTEST_MAIN GTest::Main)
+else()
+  message(FATAL_ERROR "No usable GoogleTest (source tree, package, or fetch)")
+endif()

@@ -1,0 +1,277 @@
+// Cross-aligner differential-testing harness.
+//
+// Every aligner in the repository claims to compute the same mathematical
+// object: the optimal global gap-affine penalty (or its unit-cost
+// specialization, the Levenshtein distance). This suite generates randomized
+// read pairs swept over length x error-rate x penalty configurations and
+// asserts *zero score divergence* between
+//
+//   - WfaAligner in kHigh, kLow and adaptive-heuristic modes,
+//   - GotohAligner (the trusted O(n^2) DP reference),
+//   - nw_align/nw_score (linear-gap DP, cross-checked via o=0 penalty sets),
+//   - myers/ukkonen/EditWfaAligner (unit-cost family), and
+//   - PimBatchAligner, with and without packed_sequences (which must stay
+//     bit-identical, CIGARs included).
+//
+// A divergence here means a real bug in at least one implementation; the
+// failure message carries the offending pair so it can be replayed.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "align/verify.hpp"
+#include "baselines/gotoh.hpp"
+#include "baselines/myers.hpp"
+#include "baselines/nw.hpp"
+#include "pim/host.hpp"
+#include "seq/generator.hpp"
+#include "test_util.hpp"
+#include "upmem/config.hpp"
+#include "wfa/wfa_aligner.hpp"
+#include "wfa/wfa_edit.hpp"
+
+namespace pimwfa {
+namespace {
+
+using align::AlignmentScope;
+using align::Penalties;
+using pimwfa::testing::DiffConfig;
+
+// Pairs per sweep cell. The acceptance bar for the harness: every
+// configuration cross-checks at least this many randomized pairs.
+constexpr usize kPairsPerConfig = 200;
+
+wfa::WfaAligner::Options wfa_options(const Penalties& penalties,
+                                     wfa::WfaAligner::MemoryMode mode) {
+  wfa::WfaAligner::Options options;
+  options.penalties = penalties;
+  options.memory_mode = mode;
+  return options;
+}
+
+wfa::WfaAligner::Options adapt_options(const Penalties& penalties) {
+  wfa::WfaAligner::Options options;
+  options.penalties = penalties;
+  options.heuristic.enabled = true;
+  // Generous bounds keep the heuristic exact on the bounded-error-rate
+  // workloads of this sweep (the reduction only drops diagonals that are
+  // hopelessly behind); the adaptive-specific inexactness tests live in
+  // test_wfa.cpp.
+  options.heuristic.min_wavefront_length = 32;
+  options.heuristic.max_distance_diff = 128;
+  return options;
+}
+
+std::string pair_diag(const DiffConfig& config, usize index,
+                      const seq::ReadPair& pair) {
+  return config.name() + " pair " + std::to_string(index) + "\n  pattern=" +
+         pair.pattern + "\n  text=" + pair.text;
+}
+
+// --- CPU-side gap-affine family -----------------------------------------
+
+class AffineDifferential : public ::testing::TestWithParam<DiffConfig> {};
+
+TEST_P(AffineDifferential, WfaModesMatchGotohOnEveryPair) {
+  const DiffConfig config = GetParam();
+  const seq::ReadPairSet batch =
+      pimwfa::testing::diff_batch(config, kPairsPerConfig);
+  ASSERT_EQ(batch.size(), kPairsPerConfig);
+
+  baselines::GotohAligner gotoh(config.penalties);
+  wfa::WfaAligner wfa_high(
+      wfa_options(config.penalties, wfa::WfaAligner::MemoryMode::kHigh));
+  wfa::WfaAligner wfa_low(
+      wfa_options(config.penalties, wfa::WfaAligner::MemoryMode::kLow));
+  wfa::WfaAligner wfa_adapt(adapt_options(config.penalties));
+
+  for (usize i = 0; i < batch.size(); ++i) {
+    const seq::ReadPair& pair = batch[i];
+    const i64 reference =
+        gotoh.align(pair.pattern, pair.text, AlignmentScope::kScoreOnly).score;
+
+    // kHigh runs the full scope so the CIGAR is verified against the
+    // reported score and the pair on every alignment.
+    const auto high = wfa_high.align(pair.pattern, pair.text,
+                                     AlignmentScope::kFull);
+    ASSERT_EQ(high.score, reference) << "wfa-high vs gotoh, "
+                                     << pair_diag(config, i, pair);
+    ASSERT_NO_THROW(align::verify_result(high, pair.pattern, pair.text,
+                                         config.penalties))
+        << pair_diag(config, i, pair);
+
+    const auto low = wfa_low.align(pair.pattern, pair.text,
+                                   AlignmentScope::kScoreOnly);
+    ASSERT_EQ(low.score, reference) << "wfa-low vs gotoh, "
+                                    << pair_diag(config, i, pair);
+
+    const auto adapt = wfa_adapt.align(pair.pattern, pair.text,
+                                       AlignmentScope::kScoreOnly);
+    ASSERT_EQ(adapt.score, reference) << "wfa-adapt vs gotoh, "
+                                      << pair_diag(config, i, pair);
+
+    // Gotoh's own full-scope path must agree with its score-only path.
+    const auto gotoh_full = gotoh.align(pair.pattern, pair.text,
+                                        AlignmentScope::kFull);
+    ASSERT_EQ(gotoh_full.score, reference) << pair_diag(config, i, pair);
+    ASSERT_NO_THROW(align::verify_result(gotoh_full, pair.pattern, pair.text,
+                                         config.penalties))
+        << pair_diag(config, i, pair);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AffineDifferential,
+    ::testing::ValuesIn(pimwfa::testing::diff_cross(
+        /*lengths=*/{16, 64, 100, 150},
+        /*error_rates=*/{0.0, 0.02, 0.05, 0.10},
+        /*penalty_sets=*/
+        {Penalties::defaults(), Penalties::edit(), Penalties{2, 12, 1},
+         Penalties{6, 1, 1}})),
+    [](const auto& info) { return info.param.name(); });
+
+// --- linear-gap cross-check (NW == Gotoh/WFA at o=0) --------------------
+
+class LinearGapDifferential : public ::testing::TestWithParam<DiffConfig> {};
+
+TEST_P(LinearGapDifferential, NwMatchesAffineWithZeroGapOpen) {
+  const DiffConfig config = GetParam();
+  ASSERT_EQ(config.penalties.gap_open, 0) << "sweep must use o=0 cells";
+  const seq::ReadPairSet batch =
+      pimwfa::testing::diff_batch(config, kPairsPerConfig);
+
+  const baselines::LinearPenalties linear{config.penalties.mismatch,
+                                          config.penalties.gap_extend};
+  wfa::WfaAligner wfa_high(
+      wfa_options(config.penalties, wfa::WfaAligner::MemoryMode::kHigh));
+  baselines::GotohAligner gotoh(config.penalties);
+
+  for (usize i = 0; i < batch.size(); ++i) {
+    const seq::ReadPair& pair = batch[i];
+    const i64 nw = baselines::nw_score(pair.pattern, pair.text, linear);
+    const i64 wfa_score = wfa_high.align(pair.pattern, pair.text,
+                                         AlignmentScope::kScoreOnly).score;
+    const i64 gotoh_score = gotoh.align(pair.pattern, pair.text,
+                                        AlignmentScope::kScoreOnly).score;
+    ASSERT_EQ(nw, wfa_score) << "nw vs wfa, " << pair_diag(config, i, pair);
+    ASSERT_EQ(nw, gotoh_score) << "nw vs gotoh, "
+                               << pair_diag(config, i, pair);
+    // Full-scope NW must agree with its own score-only path and produce a
+    // consistent CIGAR under the degenerate affine model.
+    const auto nw_full = baselines::nw_align(pair.pattern, pair.text, linear);
+    ASSERT_EQ(nw_full.score, nw) << pair_diag(config, i, pair);
+    ASSERT_NO_THROW(align::verify_result(nw_full, pair.pattern, pair.text,
+                                         config.penalties))
+        << pair_diag(config, i, pair);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LinearGapDifferential,
+    ::testing::ValuesIn(pimwfa::testing::diff_cross(
+        /*lengths=*/{32, 100},
+        /*error_rates=*/{0.02, 0.10},
+        /*penalty_sets=*/{Penalties{1, 0, 1}, Penalties{3, 0, 2}})),
+    [](const auto& info) { return info.param.name(); });
+
+// --- unit-cost (edit distance) family -----------------------------------
+
+class EditDifferential : public ::testing::TestWithParam<DiffConfig> {};
+
+TEST_P(EditDifferential, AllEditDistanceImplementationsAgree) {
+  const DiffConfig config = GetParam();
+  const seq::ReadPairSet batch =
+      pimwfa::testing::diff_batch(config, kPairsPerConfig);
+
+  wfa::WfaAligner wfa_edit_affine(
+      wfa_options(Penalties::edit(), wfa::WfaAligner::MemoryMode::kHigh));
+  wfa::EditWfaAligner edit_wfa;
+
+  for (usize i = 0; i < batch.size(); ++i) {
+    const seq::ReadPair& pair = batch[i];
+    const i64 reference = baselines::levenshtein(pair.pattern, pair.text);
+    const i64 myers = baselines::myers_edit_distance(pair.pattern, pair.text);
+    const i64 ukkonen =
+        baselines::ukkonen_edit_distance(pair.pattern, pair.text);
+    const i64 wfa_affine =
+        wfa_edit_affine.align(pair.pattern, pair.text,
+                              AlignmentScope::kScoreOnly).score;
+    const i64 wfa_unit = edit_wfa.align(pair.pattern, pair.text,
+                                        AlignmentScope::kScoreOnly).score;
+    ASSERT_EQ(myers, reference) << "myers, " << pair_diag(config, i, pair);
+    ASSERT_EQ(ukkonen, reference) << "ukkonen, " << pair_diag(config, i, pair);
+    ASSERT_EQ(wfa_affine, reference)
+        << "wfa(x=1,o=0,e=1), " << pair_diag(config, i, pair);
+    ASSERT_EQ(wfa_unit, reference) << "wfa-edit, "
+                                   << pair_diag(config, i, pair);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EditDifferential,
+    ::testing::ValuesIn(pimwfa::testing::diff_cross(
+        // 80 crosses the one-word -> multi-word boundary of the
+        // bit-parallel Myers implementation.
+        /*lengths=*/{16, 80, 150},
+        /*error_rates=*/{0.0, 0.05, 0.15},
+        /*penalty_sets=*/{Penalties::edit()})),
+    [](const auto& info) { return info.param.name(); });
+
+// --- PIM batch path ------------------------------------------------------
+
+class PimDifferential : public ::testing::TestWithParam<DiffConfig> {};
+
+TEST_P(PimDifferential, BatchPathMatchesHostAndPackedIsBitIdentical) {
+  const DiffConfig config = GetParam();
+  const seq::ReadPairSet batch =
+      pimwfa::testing::diff_batch(config, kPairsPerConfig);
+
+  pim::PimOptions plain_options;
+  plain_options.system = upmem::SystemConfig::tiny(4);
+  plain_options.nr_tasklets = 8;
+  plain_options.penalties = config.penalties;
+  pim::PimOptions packed_options = plain_options;
+  packed_options.packed_sequences = true;
+
+  pim::PimBatchAligner plain(plain_options);
+  pim::PimBatchAligner packed(packed_options);
+  const pim::PimBatchResult plain_result =
+      plain.align_batch(batch, AlignmentScope::kFull);
+  const pim::PimBatchResult packed_result =
+      packed.align_batch(batch, AlignmentScope::kFull);
+
+  ASSERT_EQ(plain_result.results.size(), batch.size());
+  ASSERT_EQ(packed_result.results.size(), batch.size());
+
+  wfa::WfaAligner host(
+      wfa_options(config.penalties, wfa::WfaAligner::MemoryMode::kHigh));
+  baselines::GotohAligner gotoh(config.penalties);
+  for (usize i = 0; i < batch.size(); ++i) {
+    const seq::ReadPair& pair = batch[i];
+    const auto expected =
+        host.align(pair.pattern, pair.text, AlignmentScope::kFull);
+    const i64 reference =
+        gotoh.align(pair.pattern, pair.text, AlignmentScope::kScoreOnly).score;
+    ASSERT_EQ(expected.score, reference) << pair_diag(config, i, pair);
+    ASSERT_EQ(plain_result.results[i].score, reference)
+        << "pim vs gotoh, " << pair_diag(config, i, pair);
+    ASSERT_EQ(plain_result.results[i], expected)
+        << "pim vs host wfa, " << pair_diag(config, i, pair);
+    // packed_sequences is a pure transfer-format optimization: results must
+    // be bit-identical to the unpacked path, CIGARs included.
+    ASSERT_EQ(packed_result.results[i], plain_result.results[i])
+        << "packed vs plain, " << pair_diag(config, i, pair);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PimDifferential,
+    ::testing::ValuesIn(pimwfa::testing::diff_cross(
+        /*lengths=*/{64, 100},
+        /*error_rates=*/{0.02, 0.10},
+        /*penalty_sets=*/{Penalties::defaults(), Penalties{2, 12, 1}})),
+    [](const auto& info) { return info.param.name(); });
+
+}  // namespace
+}  // namespace pimwfa

@@ -374,6 +374,142 @@ TEST(PimBatch, PackedTransfersMatchAndShrinkTraffic) {
   EXPECT_GT(b.timings.work.instructions, a.timings.work.instructions);
 }
 
+TEST(DpuPairRange, EmptyBatchGivesEveryDpuAnEmptyRange) {
+  for (usize nr_dpus : {1u, 3u, 64u}) {
+    for (usize d = 0; d < nr_dpus; ++d) {
+      const auto [begin, end] = PimBatchAligner::dpu_pair_range(0, nr_dpus, d);
+      EXPECT_EQ(begin, end) << "nr_dpus=" << nr_dpus << " d=" << d;
+      EXPECT_EQ(begin, 0u);
+    }
+  }
+}
+
+TEST(DpuPairRange, FewerPairsThanDpus) {
+  // n < nr_dpus: the first n DPUs take one pair each, the rest are idle.
+  const usize n = 5;
+  const usize nr_dpus = 16;
+  for (usize d = 0; d < nr_dpus; ++d) {
+    const auto [begin, end] = PimBatchAligner::dpu_pair_range(n, nr_dpus, d);
+    if (d < n) {
+      EXPECT_EQ(begin, d);
+      EXPECT_EQ(end, d + 1);
+    } else {
+      EXPECT_EQ(begin, end) << "idle DPU " << d << " must get no pairs";
+    }
+  }
+}
+
+TEST(DpuPairRange, PartitionCoversBatchExactlyWithBalancedShares) {
+  // Property over many (n, nr_dpus) combinations: ranges are contiguous,
+  // disjoint, cover [0, n) in order, shares differ by at most one, and the
+  // first n % nr_dpus DPUs carry the extra pair.
+  for (usize nr_dpus : {1u, 2u, 3u, 7u, 24u, 64u}) {
+    for (usize n : {usize{0}, usize{1}, nr_dpus - 1, nr_dpus, nr_dpus + 1,
+                    usize{100}, usize{1000}}) {
+      const usize base = n / nr_dpus;
+      const usize rem = n % nr_dpus;
+      usize expected_begin = 0;
+      for (usize d = 0; d < nr_dpus; ++d) {
+        const auto [begin, end] =
+            PimBatchAligner::dpu_pair_range(n, nr_dpus, d);
+        ASSERT_EQ(begin, expected_begin)
+            << "n=" << n << " nr_dpus=" << nr_dpus << " d=" << d;
+        ASSERT_GE(end, begin);
+        const usize share = end - begin;
+        ASSERT_EQ(share, base + (d < rem ? 1 : 0))
+            << "n=" << n << " nr_dpus=" << nr_dpus << " d=" << d;
+        expected_begin = end;
+      }
+      ASSERT_EQ(expected_begin, n) << "n=" << n << " nr_dpus=" << nr_dpus;
+    }
+  }
+}
+
+TEST(PimBatch, EmptyBatchProducesNoResults) {
+  PimBatchAligner aligner(tiny_options(2, 4));
+  const PimBatchResult result =
+      aligner.align_batch(seq::ReadPairSet{}, AlignmentScope::kFull);
+  EXPECT_TRUE(result.results.empty());
+  EXPECT_EQ(result.timings.pairs, 0u);
+}
+
+TEST(PimBatch, FewerPairsThanDpusMatchesHost) {
+  // 3 pairs over 4 DPUs exercises the idle-DPU path end to end.
+  const seq::ReadPairSet batch = seq::fig1_dataset(3, 0.02, 18);
+  PimBatchAligner aligner(tiny_options(4, 8));
+  const PimBatchResult result =
+      aligner.align_batch(batch, AlignmentScope::kFull);
+  expect_matches_host(batch, result, Penalties::defaults(), true);
+}
+
+TEST(PimBatch, PackedScoreOnlyBitIdentical) {
+  const seq::ReadPairSet batch = seq::fig1_dataset(64, 0.04, 19);
+  PimOptions plain_options = tiny_options(2, 8);
+  PimOptions packed_options = tiny_options(2, 8);
+  packed_options.packed_sequences = true;
+  PimBatchAligner plain(plain_options);
+  PimBatchAligner packed(packed_options);
+  const PimBatchResult a =
+      plain.align_batch(batch, AlignmentScope::kScoreOnly);
+  const PimBatchResult b =
+      packed.align_batch(batch, AlignmentScope::kScoreOnly);
+  EXPECT_EQ(a.results, b.results);
+  expect_matches_host(batch, b, Penalties::defaults(), false);
+}
+
+TEST(PimBatch, PackedBitIdenticalOnDegenerateAndOddLengthPairs) {
+  // 2-bit packing pads to 4-base boundaries: cover lengths around the pack
+  // word, empty sequences, and strongly asymmetric pairs.
+  seq::ReadPairSet batch;
+  batch.add({"", ""});
+  batch.add({"A", ""});
+  batch.add({"", "C"});
+  batch.add({"A", "C"});
+  batch.add({"ACG", "ACGT"});
+  batch.add({"ACGT", "ACG"});
+  batch.add({"ACGTA", "ACGTACGTA"});
+  Rng rng(20);
+  for (usize length : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 15u, 16u, 17u, 63u,
+                       64u, 65u}) {
+    batch.add(pimwfa::testing::random_pair(rng, length, length / 8));
+  }
+  PimOptions plain_options = tiny_options(2, 4);
+  PimOptions packed_options = tiny_options(2, 4);
+  packed_options.packed_sequences = true;
+  PimBatchAligner plain(plain_options);
+  PimBatchAligner packed(packed_options);
+  const PimBatchResult a = plain.align_batch(batch, AlignmentScope::kFull);
+  const PimBatchResult b = packed.align_batch(batch, AlignmentScope::kFull);
+  ASSERT_EQ(a.results.size(), batch.size());
+  for (usize i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(a.results[i], b.results[i])
+        << "pair " << i << " pattern=" << batch[i].pattern
+        << " text=" << batch[i].text;
+  }
+  expect_matches_host(batch, a, Penalties::defaults(), true);
+}
+
+TEST(PimBatch, PackedBitIdenticalAcrossPenaltySets) {
+  Rng rng(21);
+  seq::ReadPairSet batch;
+  for (usize i = 0; i < 32; ++i) {
+    batch.add(pimwfa::testing::random_pair(rng, 50 + rng.next_below(50), 3));
+  }
+  for (const Penalties penalties :
+       {Penalties::defaults(), Penalties::edit(), Penalties{2, 12, 1}}) {
+    PimOptions plain_options = tiny_options(2, 4);
+    plain_options.penalties = penalties;
+    PimOptions packed_options = plain_options;
+    packed_options.packed_sequences = true;
+    PimBatchAligner plain(plain_options);
+    PimBatchAligner packed(packed_options);
+    const PimBatchResult a = plain.align_batch(batch, AlignmentScope::kFull);
+    const PimBatchResult b = packed.align_batch(batch, AlignmentScope::kFull);
+    EXPECT_EQ(a.results, b.results) << penalties.to_string();
+    expect_matches_host(batch, a, penalties, true);
+  }
+}
+
 TEST(PimBatch, TimingBreakdownSane) {
   const seq::ReadPairSet batch = seq::fig1_dataset(64, 0.02, 16);
   PimBatchAligner aligner(tiny_options(4, 8));

@@ -403,6 +403,119 @@ TEST(WfaLowMemory, DifferentPenaltiesAgree) {
   }
 }
 
+TEST(WfaLowMemory, RingReuseAcrossShrinkingAndGrowingAlignments) {
+  // One kLow aligner reused across alignments whose score (and therefore
+  // ring-slot width demand) grows and shrinks: stale ring state from a
+  // larger previous alignment must never leak into a smaller one.
+  WfaAligner::Options low_options;
+  low_options.memory_mode = WfaAligner::MemoryMode::kLow;
+  WfaAligner low(low_options);
+  WfaAligner high(Penalties::defaults());
+  Rng rng(48);
+  const std::vector<std::pair<usize, usize>> schedule = {
+      {10, 0}, {200, 20}, {10, 1}, {150, 0}, {5, 2}, {200, 10}, {1, 0}};
+  for (const auto& [length, errors] : schedule) {
+    const auto pair = pimwfa::testing::random_pair(rng, length, errors);
+    EXPECT_EQ(
+        low.align(pair.pattern, pair.text, AlignmentScope::kScoreOnly).score,
+        high.align(pair.pattern, pair.text, AlignmentScope::kScoreOnly).score)
+        << "length=" << length << " errors=" << errors;
+  }
+}
+
+TEST(WfaLowMemory, GridSweepMatchesHighMemory) {
+  // Dense length x error grid, one aligner pair per penalty set, aligners
+  // reused across the whole grid (the production usage pattern).
+  Rng rng(49);
+  for (const Penalties penalties :
+       {Penalties::defaults(), Penalties{2, 12, 1}, Penalties{6, 1, 1}}) {
+    WfaAligner::Options low_options;
+    low_options.penalties = penalties;
+    low_options.memory_mode = WfaAligner::MemoryMode::kLow;
+    WfaAligner low(low_options);
+    WfaAligner high(penalties);
+    for (usize length : {8u, 32u, 100u, 180u}) {
+      for (usize errors : {usize{0}, usize{1}, length / 20, length / 8}) {
+        const auto pair = pimwfa::testing::random_pair(rng, length, errors);
+        EXPECT_EQ(low.align(pair.pattern, pair.text,
+                            AlignmentScope::kScoreOnly).score,
+                  high.align(pair.pattern, pair.text,
+                             AlignmentScope::kScoreOnly).score)
+            << penalties.to_string() << " length=" << length
+            << " errors=" << errors;
+      }
+    }
+  }
+}
+
+TEST(WfaMaxScore, NonExceedingPairsMatchUncapped) {
+  // A cap at or above the true score must not change the result, in either
+  // memory mode and either scope.
+  Rng rng(50);
+  WfaAligner uncapped(Penalties::defaults());
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto pair = pimwfa::testing::random_pair(rng, 90, 4);
+    const auto expected =
+        uncapped.align(pair.pattern, pair.text, AlignmentScope::kFull);
+    for (const auto mode :
+         {WfaAligner::MemoryMode::kHigh, WfaAligner::MemoryMode::kLow}) {
+      WfaAligner::Options options;
+      options.max_score = expected.score;  // exact boundary: must succeed
+      options.memory_mode = mode;
+      WfaAligner capped(options);
+      EXPECT_EQ(capped.align(pair.pattern, pair.text,
+                             AlignmentScope::kScoreOnly).score,
+                expected.score);
+      const auto full =
+          capped.align(pair.pattern, pair.text, AlignmentScope::kFull);
+      EXPECT_EQ(full.score, expected.score);
+      EXPECT_NO_THROW(align::verify_result(full, pair.pattern, pair.text,
+                                           options.penalties));
+    }
+  }
+}
+
+TEST(WfaMaxScore, ExceedingPairsThrowInBothMemoryModes) {
+  Rng rng(51);
+  WfaAligner scorer(Penalties::defaults());
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto pair = pimwfa::testing::random_pair(rng, 90, 6);
+    const i64 score =
+        scorer.align(pair.pattern, pair.text, AlignmentScope::kScoreOnly)
+            .score;
+    if (score == 0) continue;  // cannot set a cap below a zero score
+    for (const auto mode :
+         {WfaAligner::MemoryMode::kHigh, WfaAligner::MemoryMode::kLow}) {
+      WfaAligner::Options options;
+      options.max_score = score - 1;
+      options.memory_mode = mode;
+      WfaAligner capped(options);
+      EXPECT_THROW(
+          capped.align(pair.pattern, pair.text, AlignmentScope::kScoreOnly),
+          Error);
+      EXPECT_THROW(
+          capped.align(pair.pattern, pair.text, AlignmentScope::kFull),
+          Error);
+    }
+  }
+}
+
+TEST(WfaMaxScore, AlignerStaysUsableAfterCapThrow) {
+  // A thresholded rejection must not poison internal state: the next
+  // alignment on the same aligner is computed correctly.
+  WfaAligner::Options options;
+  options.max_score = 6;
+  WfaAligner capped(options);
+  EXPECT_THROW(capped.align("AAAAAAAA", "TTTTTTTT", AlignmentScope::kFull),
+               Error);
+  // A single substitution scores exactly x=4, under the cap of 6.
+  const auto after = capped.align("ACGTACGTACGT", "ACGAACGTACGT",
+                                  AlignmentScope::kFull);
+  EXPECT_EQ(after.score, 4);
+  EXPECT_NO_THROW(align::verify_result(after, "ACGTACGTACGT", "ACGAACGTACGT",
+                                       options.penalties));
+}
+
 TEST(SlabAllocator, AlignmentGuarantee) {
   SlabAllocator allocator(1024);
   for (usize size : {1u, 3u, 8u, 13u, 100u, 2000u}) {
