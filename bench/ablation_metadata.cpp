@@ -8,6 +8,7 @@
 //                      run and the pipeline law wins.
 #include <iostream>
 
+#include "common/bench_report.hpp"
 #include "common/cli.hpp"
 #include "common/strings.hpp"
 #include "pim/host.hpp"
@@ -21,6 +22,8 @@ int main(int argc, char** argv) {
       cli.get_int("pairs", 1536, "pairs on the benched DPU"));
   const double error_rate =
       cli.get_double("error-rate", 0.04, "edit-distance threshold");
+  const std::string json =
+      cli.get_string("json", "", "write a BenchReport here");
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
@@ -28,6 +31,10 @@ int main(int argc, char** argv) {
 
   const seq::ReadPairSet batch = seq::fig1_dataset(pairs, error_rate, 0xAB1);
   const auto scope = align::AlignmentScope::kFull;
+
+  BenchReport report("ablation_metadata");
+  report.set_param("pairs", static_cast<i64>(pairs));
+  report.set_param("error_rate", error_rate);
 
   std::cout << "Abl-A: metadata placement vs tasklet count ("
             << with_commas(pairs) << " pairs/DPU, 100bp, E="
@@ -52,6 +59,9 @@ int main(int argc, char** argv) {
         pim::PimBatchAligner aligner(options);
         const pim::PimBatchResult result = aligner.align_batch(batch, scope);
         const double seconds = result.timings.kernel_seconds;
+        report.add_metric(
+            strprintf("kernel_seconds_%s_t%zu", name, tasklets), seconds,
+            "s");
         std::cout << strprintf(
             "  %-9zu %-10s %14s %16s %14s\n", tasklets, name,
             format_seconds(seconds).c_str(),
@@ -68,5 +78,9 @@ int main(int argc, char** argv) {
   std::cout << "\nThe MRAM policy pays ~DMA staging per access but unlocks"
                " the full tasklet count;\nthe WRAM policy runs out of the"
                " shared 64KB long before pipeline saturation (11+).\n";
+  if (!json.empty()) {
+    report.write(json);
+    std::cout << "BenchReport written to " << json << "\n";
+  }
   return 0;
 }

@@ -5,6 +5,7 @@
 // bandwidth-bound.
 #include <iostream>
 
+#include "common/bench_report.hpp"
 #include "common/cli.hpp"
 #include "common/strings.hpp"
 #include "cpu/cpu_batch.hpp"
@@ -19,12 +20,17 @@ int main(int argc, char** argv) {
       cli.get_int("pairs", 5'000'000, "modeled batch size"));
   const usize sample = static_cast<usize>(
       cli.get_int("sample", 40'000, "pairs actually measured"));
+  const std::string json =
+      cli.get_string("json", "", "write a BenchReport here");
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
   }
 
   const cpu::CpuSystemModel system;
+  BenchReport report("cpu_scaling");
+  report.set_param("pairs", static_cast<i64>(pairs));
+  report.set_param("sample", static_cast<i64>(sample));
   std::cout << "Obs-1: CPU scaling of WFA batch alignment (modeled "
             << system.name << ")\n\n";
 
@@ -51,9 +57,19 @@ int main(int argc, char** argv) {
         format_seconds(t1).c_str(),
         format_seconds(model.memory_floor_seconds()).c_str(),
         model.saturation_threads());
+    const int e_pct = static_cast<int>(error_rate * 100);
+    report.add_metric(strprintf("cpu_t1_seconds_e%d", e_pct), t1, "s");
+    report.add_metric(strprintf("memory_floor_seconds_e%d", e_pct),
+                      model.memory_floor_seconds(), "s");
+    report.add_metric(strprintf("saturation_threads_e%d", e_pct),
+                      static_cast<double>(model.saturation_threads()));
     std::cout << strprintf("  %-9s %14s %12s\n", "threads", "time", "speedup");
     for (const usize threads : {1u, 2u, 4u, 8u, 16u, 32u, 48u, 56u}) {
       const double seconds = model.project(threads);
+      if (threads == system.max_threads()) {
+        report.add_metric(strprintf("cpu_t%zu_seconds_e%d", threads, e_pct),
+                          seconds, "s");
+      }
       std::cout << strprintf("  %-9zu %14s %11.2fx\n", threads,
                              format_seconds(seconds).c_str(), t1 / seconds);
     }
@@ -62,5 +78,9 @@ int main(int argc, char** argv) {
   std::cout << "Scaling collapses once the aggregate wavefront traffic hits"
                " the effective DRAM\nbandwidth - the motivation for moving"
                " the computation into memory.\n";
+  if (!json.empty()) {
+    report.write(json);
+    std::cout << "BenchReport written to " << json << "\n";
+  }
   return 0;
 }

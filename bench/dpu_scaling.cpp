@@ -4,6 +4,7 @@
 // after - the law that makes 24-tasklet DPUs worth feeding.
 #include <iostream>
 
+#include "common/bench_report.hpp"
 #include "common/cli.hpp"
 #include "common/strings.hpp"
 #include "pim/host.hpp"
@@ -17,6 +18,8 @@ int main(int argc, char** argv) {
       cli.get_int("pairs", 1536, "pairs on the benched DPU"));
   const double error_rate =
       cli.get_double("error-rate", 0.02, "edit-distance threshold");
+  const std::string json =
+      cli.get_string("json", "", "write a BenchReport here");
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
@@ -31,6 +34,10 @@ int main(int argc, char** argv) {
                          "speedup", "pipeline state");
   std::cout << "  " << std::string(58, '-') << "\n";
 
+  BenchReport report("dpu_scaling");
+  report.set_param("pairs", static_cast<i64>(pairs));
+  report.set_param("error_rate", error_rate);
+
   double t1 = 0;
   for (usize tasklets = 1; tasklets <= 24; ++tasklets) {
     pim::PimOptions options;
@@ -41,11 +48,18 @@ int main(int argc, char** argv) {
         aligner.align_batch(batch, align::AlignmentScope::kFull);
     const double seconds = result.timings.kernel_seconds;
     if (tasklets == 1) t1 = seconds;
+    report.add_metric(strprintf("kernel_seconds_t%zu", tasklets), seconds,
+                      "s");
+    if (tasklets == 24) report.add_metric("speedup_t24", t1 / seconds, "x");
     std::cout << strprintf("  %-9zu %14s %11.2fx %18s\n", tasklets,
                            format_seconds(seconds).c_str(), t1 / seconds,
                            tasklets < 11 ? "latency-bound" : "saturated");
   }
   std::cout << "\nExpected: near-linear gains to 11 tasklets (revolver"
                " pipeline re-issue), plateau beyond.\n";
+  if (!json.empty()) {
+    report.write(json);
+    std::cout << "BenchReport written to " << json << "\n";
+  }
   return 0;
 }

@@ -6,6 +6,7 @@
 //   CPU:    2 x 105 W TDP (Xeon Gold 5120) + ~20 W DRAM, fully busy.
 #include <iostream>
 
+#include "common/bench_report.hpp"
 #include "common/cli.hpp"
 #include "common/strings.hpp"
 #include "model/fig1.hpp"
@@ -19,6 +20,8 @@ int main(int argc, char** argv) {
       cli.get_int("pairs", 5'000'000, "read pairs to align"));
   options.simulate_dpus = static_cast<usize>(
       cli.get_int("sim-dpus", 8, "DPUs simulated functionally"));
+  const std::string json =
+      cli.get_string("json", "", "write a BenchReport here");
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
@@ -32,6 +35,11 @@ int main(int argc, char** argv) {
       cli.get_double("cpu-watts", 2 * 105.0 + 20.0, "");
 
   const model::Fig1Result result = model::run_fig1(options);
+  BenchReport report("energy");
+  report.set_param("pairs", static_cast<i64>(options.pairs));
+  report.set_param("sim_dpus", static_cast<i64>(options.simulate_dpus));
+  report.set_param("pim_watts", pim_watts);
+  report.set_param("cpu_watts", cpu_watts);
 
   std::cout << "Opt-2: energy for aligning " << with_commas(options.pairs)
             << " pairs (nameplate powers: PIM " << pim_watts << " W, CPU "
@@ -66,9 +74,20 @@ int main(int argc, char** argv) {
     }
     std::cout << strprintf("         PIM energy advantage: %.2fx\n",
                            cpu_energy / pim_energy);
+    const int e_pct = static_cast<int>(detail.error_rate * 100);
+    report.add_metric(strprintf("cpu_energy_joules_e%d", e_pct),
+                      cpu_energy, "J");
+    report.add_metric(strprintf("pim_energy_joules_e%d", e_pct),
+                      pim_energy, "J");
+    report.add_metric(strprintf("energy_advantage_e%d", e_pct),
+                      cpu_energy / pim_energy, "x");
   }
   std::cout << "\nThe 20 PIM DIMMs draw ~2x the server's power but finish"
                " ~5x sooner, netting a\n~2x energy win end-to-end (and"
                " ~10x kernel-only, when the host socket idles).\n";
+  if (!json.empty()) {
+    report.write(json);
+    std::cout << "BenchReport written to " << json << "\n";
+  }
   return 0;
 }

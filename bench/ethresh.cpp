@@ -5,6 +5,7 @@
 // kernel advantage narrows while Total stays transfer-dominated.
 #include <iostream>
 
+#include "common/bench_report.hpp"
 #include "common/cli.hpp"
 #include "common/strings.hpp"
 #include "cpu/cpu_batch.hpp"
@@ -20,12 +21,17 @@ int main(int argc, char** argv) {
       cli.get_int("pairs-per-dpu", 1024, "pairs per DPU"));
   const usize modeled_pairs = static_cast<usize>(
       cli.get_int("pairs", 5'000'000, "modeled full batch size"));
+  const std::string json =
+      cli.get_string("json", "", "write a BenchReport here");
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
   }
 
   const cpu::CpuSystemModel cpu_system;
+  BenchReport report("ethresh");
+  report.set_param("pairs_per_dpu", static_cast<i64>(pairs_per_dpu));
+  report.set_param("pairs", static_cast<i64>(modeled_pairs));
   std::cout << "Ext-2: threshold scaling, 100bp pairs ("
             << with_commas(modeled_pairs) << " modeled pairs)\n\n";
   std::cout << strprintf("  %-6s %12s %12s %12s %12s %12s\n", "E", "kernel",
@@ -66,6 +72,13 @@ int main(int argc, char** argv) {
     const double cpu56 = model.project(cpu_system.max_threads());
     const double kernel = pim_result.timings.kernel_seconds;
     const double total = pim_result.timings.total_seconds();
+    const int e_pct = static_cast<int>(error_rate * 100);
+    report.add_metric(strprintf("pim_kernel_seconds_e%d", e_pct), kernel,
+                      "s");
+    report.add_metric(strprintf("pim_total_seconds_e%d", e_pct), total,
+                      "s");
+    report.add_metric(strprintf("speedup_total_e%d", e_pct), cpu56 / total,
+                      "x");
     std::cout << strprintf("  %-6s %12s %12s %12s %11.2fx %11.2fx\n",
                            strprintf("%.0f%%", error_rate * 100).c_str(),
                            format_seconds(kernel).c_str(),
@@ -77,5 +90,9 @@ int main(int argc, char** argv) {
                " the transfer share, fixed\nby data volume, shrinks in"
                " relative terms - Total speedup converges toward Kernel\n"
                "speedup at high E.\n";
+  if (!json.empty()) {
+    report.write(json);
+    std::cout << "BenchReport written to " << json << "\n";
+  }
   return 0;
 }

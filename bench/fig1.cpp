@@ -8,7 +8,9 @@
 //   ./fig1 --csv fig1.csv
 #include <iostream>
 
+#include "common/bench_report.hpp"
 #include "common/cli.hpp"
+#include "common/strings.hpp"
 #include "model/fig1.hpp"
 
 int main(int argc, char** argv) {
@@ -31,6 +33,8 @@ int main(int argc, char** argv) {
       cli.get_int("cpu-repeats", 2, "CPU measurement repeats (min taken)"));
   options.seed = static_cast<u64>(cli.get_int("seed", 0x51A6, "RNG seed"));
   const std::string csv = cli.get_string("csv", "", "also write CSV here");
+  const std::string json =
+      cli.get_string("json", "", "write a BenchReport here");
 
   if (cli.help_requested()) {
     std::cout << cli.help();
@@ -43,6 +47,32 @@ int main(int argc, char** argv) {
     if (!csv.empty()) {
       result.write_csv(csv);
       std::cout << "\nCSV written to " << csv << "\n";
+    }
+    if (!json.empty()) {
+      BenchReport report("fig1");
+      report.set_param("pairs", static_cast<i64>(options.pairs));
+      report.set_param("sim_dpus", static_cast<i64>(options.simulate_dpus));
+      report.set_param("tasklets", static_cast<i64>(options.nr_tasklets));
+      report.set_param("full_alignment",
+                       options.full_alignment ? "true" : "false");
+      report.set_param("seed", static_cast<i64>(options.seed));
+      for (const model::Fig1GroupDetail& detail : result.details) {
+        const int e_pct = static_cast<int>(detail.error_rate * 100);
+        report.add_metric(strprintf("cpu_56t_seconds_e%d", e_pct),
+                          detail.cpu_56t_seconds, "s");
+        report.add_metric(strprintf("pim_total_seconds_e%d", e_pct),
+                          detail.pim.total_seconds(), "s");
+        report.add_metric(strprintf("pim_kernel_seconds_e%d", e_pct),
+                          detail.pim.kernel_seconds, "s");
+        report.add_metric(strprintf("speedup_total_e%d", e_pct),
+                          detail.speedup_total, "x");
+        report.add_metric(strprintf("speedup_kernel_e%d", e_pct),
+                          detail.speedup_kernel, "x");
+        report.add_metric(strprintf("verified_pairs_e%d", e_pct),
+                          static_cast<double>(detail.verified_pairs));
+      }
+      report.write(json);
+      std::cout << "BenchReport written to " << json << "\n";
     }
   } catch (const Error& error) {
     std::cerr << "fig1: " << error.what() << "\n";

@@ -4,6 +4,7 @@
 // Results stay bit-identical (asserted by the test suite).
 #include <iostream>
 
+#include "common/bench_report.hpp"
 #include "common/cli.hpp"
 #include "common/strings.hpp"
 #include "pim/host.hpp"
@@ -17,6 +18,8 @@ int main(int argc, char** argv) {
       cli.get_int("pairs", 5'000'000, "modeled batch size"));
   const usize sim_dpus = static_cast<usize>(
       cli.get_int("sim-dpus", 8, "DPUs simulated functionally"));
+  const std::string json =
+      cli.get_string("json", "", "write a BenchReport here");
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
@@ -33,6 +36,10 @@ int main(int argc, char** argv) {
       modeled_pairs, system.nr_dpus(), sim_dpus - 1);
   (void)begin;
   const seq::ReadPairSet batch = seq::fig1_dataset(end, 0.02, 0xBAC);
+
+  BenchReport report("packed");
+  report.set_param("pairs", static_cast<i64>(modeled_pairs));
+  report.set_param("sim_dpus", static_cast<i64>(sim_dpus));
 
   double plain_total = 0;
   for (const bool packed : {false, true}) {
@@ -52,9 +59,16 @@ int main(int argc, char** argv) {
         format_seconds(t.gather_seconds).c_str(),
         format_seconds(t.total_seconds()).c_str(),
         format_bytes(t.bytes_to_device).c_str());
+    report.add_metric(
+        strprintf("%s_total_seconds", packed ? "packed" : "ascii"),
+        t.total_seconds(), "s");
+    report.add_metric(
+        strprintf("%s_scatter_seconds", packed ? "packed" : "ascii"),
+        t.scatter_seconds, "s");
     if (!packed) {
       plain_total = t.total_seconds();
     } else {
+      report.add_metric("packed_gain", plain_total / t.total_seconds(), "x");
       std::cout << strprintf("\n  end-to-end gain: %.2fx\n",
                              plain_total / t.total_seconds());
     }
@@ -62,5 +76,9 @@ int main(int argc, char** argv) {
   std::cout << "\nPacking quarters the scatter bytes at the price of ~3"
                " DPU instructions per base\nto unpack - profitable because"
                " Fig. 1's Total is transfer-bound.\n";
+  if (!json.empty()) {
+    report.write(json);
+    std::cout << "BenchReport written to " << json << "\n";
+  }
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "align/penalties.hpp"
+#include "common/bench_report.hpp"
 #include "common/cli.hpp"
 #include "common/strings.hpp"
 #include "pim/host.hpp"
@@ -18,6 +19,8 @@ int main(int argc, char** argv) {
       cli.get_double("error-rate", 0.02, "edit-distance threshold");
   const usize bases = static_cast<usize>(cli.get_int(
       "bases", 160'000, "total bases per DPU (pairs = bases/length)"));
+  const std::string json =
+      cli.get_string("json", "", "write a BenchReport here");
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
@@ -29,6 +32,10 @@ int main(int argc, char** argv) {
                          "pairs", "tasklets", "kernel", "bases/s/DPU",
                          "cells/pair");
   std::cout << "  " << std::string(74, '-') << "\n";
+
+  BenchReport report("readlen");
+  report.set_param("error_rate", error_rate);
+  report.set_param("bases", static_cast<i64>(bases));
 
   for (const usize length : {100u, 250u, 500u, 1000u, 2000u, 4000u}) {
     const usize pairs = std::max<usize>(bases / length, 1);
@@ -62,6 +69,12 @@ int main(int argc, char** argv) {
         const double seconds = result.timings.kernel_seconds;
         const double bases_per_s =
             static_cast<double>(pairs) * static_cast<double>(length) / seconds;
+        report.add_metric(strprintf("kernel_seconds_len%zu", length), seconds,
+                          "s");
+        report.add_metric(strprintf("bases_per_second_len%zu", length),
+                          bases_per_s, "bases/s");
+        report.add_metric(strprintf("tasklets_len%zu", length),
+                          static_cast<double>(tasklets));
         const u64 cells =
             result.timings.work.instructions / std::max<u64>(pairs, 1);
         std::cout << strprintf("  %-8zu %-7zu %-9zu %14s %16s %14s\n", length,
@@ -83,5 +96,9 @@ int main(int argc, char** argv) {
                " extension), and WRAM buffer\npressure cuts the feasible"
                " tasklet count for long reads - the reason the paper\n"
                "lists longer reads as future work.\n";
+  if (!json.empty()) {
+    report.write(json);
+    std::cout << "BenchReport written to " << json << "\n";
+  }
   return 0;
 }

@@ -24,6 +24,10 @@ int main(int argc, char** argv) {
       static_cast<usize>(cli.get_int("tasklets", 24, "tasklets per DPU"));
   const double error_rate =
       cli.get_double("error-rate", 0.02, "edit-distance threshold");
+  const bool pipeline = cli.get_bool(
+      "pipeline", false, "overlap scatter/kernel/gather across chunks");
+  const usize chunks = static_cast<usize>(
+      cli.get_int("chunks", 0, "pipeline chunk count (0 = planner)"));
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
@@ -37,9 +41,12 @@ int main(int argc, char** argv) {
   pim::PimOptions options;
   options.system = upmem::SystemConfig::tiny(dpus);
   options.nr_tasklets = tasklets;
+  options.pipeline = pipeline;
+  options.pipeline_chunks = chunks;
   pim::PimBatchAligner aligner(options);
+  ThreadPool pool(3);  // one worker per in-flight pipeline stage
   const pim::PimBatchResult result =
-      aligner.align_batch(batch, align::AlignmentScope::kFull);
+      aligner.align_batch(batch, align::AlignmentScope::kFull, &pool);
 
   const pim::PimTimings& t = result.timings;
   std::cout << "scatter : " << format_seconds(t.scatter_seconds) << "  ("
@@ -52,7 +59,16 @@ int main(int argc, char** argv) {
   std::cout << "total   : " << format_seconds(t.total_seconds()) << "  => "
             << with_commas(static_cast<u64>(static_cast<double>(pairs) /
                                             t.total_seconds()))
-            << " pairs/s\n\n";
+            << " pairs/s\n";
+  if (t.chunks > 1) {
+    std::cout << "pipeline: " << t.chunks << " chunks; fill "
+              << format_seconds(t.fill_seconds) << " + steady "
+              << format_seconds(t.steady_state_seconds) << " + drain "
+              << format_seconds(t.drain_seconds) << "; "
+              << format_seconds(t.overlap_saved_seconds)
+              << " of stage time hidden\n";
+  }
+  std::cout << "\n";
   std::cout << "DPU work: " << with_commas(t.work.instructions)
             << " instructions, " << with_commas(t.work.dma_calls)
             << " DMA transfers (" << format_bytes(t.work.dma_bytes) << ")\n";

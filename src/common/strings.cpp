@@ -68,7 +68,14 @@ std::string format_bytes(u64 bytes) {
 }
 
 std::string format_seconds(double seconds) {
-  if (seconds < 0) return "-" + format_seconds(-seconds);
+  if (seconds < 0) {
+    // Built via append: `"-" + std::string&&` funnels through
+    // basic_string::insert, which GCC 12's -Wrestrict false-positives on
+    // at -O3 (PR105651), and CI builds with -Werror.
+    std::string out = "-";
+    out += format_seconds(-seconds);
+    return out;
+  }
   if (seconds < 1e-6) return strprintf("%.0f ns", seconds * 1e9);
   if (seconds < 1e-3) return strprintf("%.2f us", seconds * 1e6);
   if (seconds < 1.0) return strprintf("%.2f ms", seconds * 1e3);

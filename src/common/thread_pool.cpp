@@ -40,20 +40,33 @@ void ThreadPool::wait_idle() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
-void ThreadPool::parallel_for(usize n,
-                              const std::function<void(usize, usize)>& body) {
-  if (n == 0) return;
-  const usize chunks = std::min(n, workers_.size());
-  const usize chunk = n / chunks;
+std::vector<std::pair<usize, usize>> ThreadPool::partition(usize n,
+                                                           usize max_chunks) {
+  std::vector<std::pair<usize, usize>> ranges;
+  if (n == 0 || max_chunks == 0) return ranges;
+  const usize chunks = std::min(n, max_chunks);
+  const usize base = n / chunks;
   const usize rem = n % chunks;
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
+  ranges.reserve(chunks);
   usize begin = 0;
   for (usize c = 0; c < chunks; ++c) {
-    const usize len = chunk + (c < rem ? 1 : 0);
-    const usize end = begin + len;
-    futures.push_back(submit([&body, begin, end] { body(begin, end); }));
+    const usize end = begin + base + (c < rem ? 1 : 0);
+    ranges.emplace_back(begin, end);
     begin = end;
+  }
+  return ranges;
+}
+
+void ThreadPool::parallel_for(usize n,
+                              const std::function<void(usize, usize)>& body) {
+  const std::vector<std::pair<usize, usize>> ranges =
+      partition(n, workers_.size());
+  std::vector<std::future<void>> futures;
+  futures.reserve(ranges.size());
+  for (const auto& [begin, end] : ranges) {
+    futures.push_back(submit([&body, begin = begin, end = end] {
+      body(begin, end);
+    }));
   }
   std::exception_ptr first_error;
   for (auto& future : futures) {

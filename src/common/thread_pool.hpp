@@ -9,6 +9,7 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -33,10 +34,18 @@ class ThreadPool {
   // Block until all submitted tasks have finished.
   void wait_idle();
 
-  // Statically partition [0, n) into ~`size()` chunks and run
+  // Statically partition [0, n) into min(n, size()) chunks and run
   // body(begin, end) on the pool; blocks until done. Exceptions from the
   // body are rethrown (first one wins).
   void parallel_for(usize n, const std::function<void(usize, usize)>& body);
+
+  // Exact static partition of [0, n) into min(n, max_chunks) contiguous,
+  // non-empty [begin, end) ranges whose sizes differ by at most one (the
+  // first n % chunks ranges take the extra element). Every index is
+  // covered exactly once, including when n < max_chunks - small-n inputs
+  // must spread over n single-element chunks, not collapse onto one.
+  static std::vector<std::pair<usize, usize>> partition(usize n,
+                                                        usize max_chunks);
 
  private:
   void worker_loop();

@@ -87,8 +87,10 @@ class Engine {
     for (auto& window : windows_) window.emplace(*space_);
   }
 
-  void run_pairs() {
-    for (u64 pair = ctx_.me(); pair < hdr_.nr_pairs;
+  void run_pairs(u64 first, u64 count) {
+    const u64 begin = std::min<u64>(first, hdr_.nr_pairs);
+    const u64 end = begin + std::min<u64>(count, hdr_.nr_pairs - begin);
+    for (u64 pair = begin + ctx_.me(); pair < end;
          pair += ctx_.nr_tasklets()) {
       align_pair(pair);
     }
@@ -443,7 +445,7 @@ class Engine {
 
 void WfaDpuKernel::run(upmem::TaskletCtx& ctx) {
   Engine engine(ctx, costs_);
-  engine.run_pairs();
+  engine.run_pairs(first_pair_, pair_count_);
 }
 
 }  // namespace pimwfa::pim

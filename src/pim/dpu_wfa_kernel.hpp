@@ -26,10 +26,23 @@ class WfaDpuKernel final : public upmem::DpuKernel {
   explicit WfaDpuKernel(const KernelCosts& costs = kDefaultKernelCosts)
       : costs_(costs) {}
 
+  // Slice launch (pipelined mode): align only pairs
+  // [first_pair, first_pair + pair_count) of the MRAM batch. On hardware
+  // the bounds travel as kernel launch arguments (a small host->WRAM copy
+  // the host accounts per launch); the batch in MRAM is untouched, so a
+  // sliced sequence of launches is bit-identical to one full launch.
+  WfaDpuKernel(const KernelCosts& costs, u64 first_pair, u64 pair_count)
+      : costs_(costs), first_pair_(first_pair), pair_count_(pair_count) {}
+
+  // Modeled bytes of the per-launch argument block (slice bounds).
+  static constexpr u64 kLaunchArgBytes = 16;
+
   void run(upmem::TaskletCtx& ctx) override;
 
  private:
   KernelCosts costs_;
+  u64 first_pair_ = 0;
+  u64 pair_count_ = ~u64{0};  // default: the whole batch
 };
 
 }  // namespace pimwfa::pim

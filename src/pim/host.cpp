@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <future>
 
 #include "common/bits.hpp"
 #include "common/check.hpp"
@@ -9,6 +10,338 @@
 #include "seq/packed.hpp"
 
 namespace pimwfa::pim {
+namespace {
+
+// Record codecs shared by the synchronous and pipelined paths, so both
+// produce byte-identical MRAM images and result decoding.
+
+void write_pair_record(upmem::PimSystem& system, usize d,
+                       const BatchLayout& layout, const seq::ReadPair& pair,
+                       usize slot, bool packed, std::vector<u8>& record) {
+  record.assign(static_cast<usize>(layout.header().pair_stride), 0);
+  const u32 lens[2] = {static_cast<u32>(pair.pattern.size()),
+                       static_cast<u32>(pair.text.size())};
+  std::memcpy(record.data(), lens, 8);
+  if (packed) {
+    seq::PackedSequence::pack_into(pair.pattern, record.data() + 8);
+    seq::PackedSequence::pack_into(
+        pair.text, record.data() + 8 + layout.pattern_field_bytes());
+  } else {
+    std::memcpy(record.data() + 8, pair.pattern.data(), pair.pattern.size());
+    std::memcpy(record.data() + 8 + layout.pattern_field_bytes(),
+                pair.text.data(), pair.text.size());
+  }
+  system.copy_to_mram(d, layout.pair_addr(slot), record);
+}
+
+align::AlignmentResult read_result_record(const upmem::PimSystem& system,
+                                          usize d, const BatchLayout& layout,
+                                          usize slot, bool full,
+                                          std::vector<u8>& record) {
+  record.resize(static_cast<usize>(layout.header().result_stride));
+  system.copy_from_mram(d, layout.result_addr(slot), record);
+  u32 head[2];
+  std::memcpy(head, record.data(), 8);
+  align::AlignmentResult result;
+  result.score = static_cast<i64>(head[0]);
+  if (full) {
+    const usize len = head[1];
+    PIMWFA_CHECK(8 + len <= record.size(),
+                 "DPU result CIGAR overruns its record");
+    result.cigar = seq::Cigar::from_ops(
+        std::string(reinterpret_cast<const char*>(record.data() + 8), len));
+    result.has_cigar = true;
+  }
+  return result;
+}
+
+// Everything both execution paths need about one batch run.
+struct BatchRun {
+  const PimOptions& options;
+  const seq::ReadPairSet& batch;
+  upmem::PimSystem& system;
+  bool full = false;
+  usize logical = 0;
+  usize simulated = 0;
+  usize virtual_n = 0;
+  usize max_pattern = 0;
+  usize max_text = 0;
+
+  BatchLayout layout_for(usize nr_pairs) const {
+    BatchLayout::Params params;
+    params.nr_pairs = nr_pairs;
+    params.nr_tasklets = options.nr_tasklets;
+    params.max_pattern = max_pattern;
+    params.max_text = max_text;
+    params.penalties = options.penalties;
+    params.full_alignment = full;
+    params.policy = options.policy;
+    params.packed_sequences = options.packed_sequences;
+    params.max_score = options.max_score;
+    return BatchLayout::plan(params, options.system.mram_bytes);
+  }
+
+  std::pair<usize, usize> range_of(usize d) const {
+    return PimBatchAligner::dpu_pair_range(virtual_n, logical, d);
+  }
+
+  // Pairs covered by the simulated prefix (= the result count).
+  usize simulated_pairs() const { return range_of(simulated - 1).second; }
+
+  void fill_common_timings(PimTimings& t) const {
+    t.bytes_to_device = system.to_device().bytes;
+    t.bytes_from_device = system.from_device().bytes;
+    t.pairs = virtual_n;
+    t.logical_dpus = logical;
+    t.simulated_dpus = simulated;
+    t.nr_tasklets = options.nr_tasklets;
+  }
+};
+
+// --- synchronous path ---------------------------------------------------
+
+PimBatchResult run_synchronous(const BatchRun& run, ThreadPool* pool) {
+  upmem::PimSystem& system = run.system;
+
+  // --- scatter ---------------------------------------------------------
+  // Simulated DPUs get real data; the rest contribute transfer bytes only.
+  {
+    std::vector<u8> record;
+    for (usize d = 0; d < run.simulated; ++d) {
+      const auto [begin, end] = run.range_of(d);
+      const BatchLayout layout = run.layout_for(end - begin);
+      const BatchHeader& h = layout.header();
+      system.copy_to_mram(
+          d, 0, {reinterpret_cast<const u8*>(&h), sizeof(BatchHeader)});
+      for (usize p = begin; p < end; ++p) {
+        write_pair_record(system, d, layout, run.batch[p], p - begin,
+                          run.options.packed_sequences, record);
+      }
+    }
+    for (usize d = run.simulated; d < run.logical; ++d) {
+      const auto [begin, end] = run.range_of(d);
+      const BatchLayout layout = run.layout_for(end - begin);
+      system.account_to_device(sizeof(BatchHeader) + layout.pairs_bytes());
+    }
+  }
+
+  // --- launch ----------------------------------------------------------
+  const KernelCosts costs = run.options.costs;
+  const upmem::LaunchStats launch = system.launch_all(
+      [&costs](usize) { return std::make_unique<WfaDpuKernel>(costs); },
+      run.options.nr_tasklets, pool);
+
+  // --- gather ----------------------------------------------------------
+  PimBatchResult out;
+  {
+    std::vector<u8> record;
+    for (usize d = 0; d < run.simulated; ++d) {
+      const auto [begin, end] = run.range_of(d);
+      const BatchLayout layout = run.layout_for(end - begin);
+      for (usize p = begin; p < end; ++p) {
+        out.results.push_back(read_result_record(system, d, layout, p - begin,
+                                                 run.full, record));
+      }
+    }
+    for (usize d = run.simulated; d < run.logical; ++d) {
+      const auto [begin, end] = run.range_of(d);
+      const BatchLayout layout = run.layout_for(end - begin);
+      system.account_from_device(layout.results_bytes());
+    }
+  }
+
+  // --- timings ---------------------------------------------------------
+  PimTimings& t = out.timings;
+  t.scatter_seconds = system.scatter_seconds();
+  t.kernel_seconds = launch.kernel_seconds(run.options.system);
+  t.gather_seconds = system.gather_seconds();
+  t.kernel_cycles_max = launch.max_cycles;
+  t.kernel_cycles_total = launch.total_cycles;
+  t.work = launch.combined;
+  run.fill_common_timings(t);
+  return out;
+}
+
+// --- pipelined path -----------------------------------------------------
+
+PimBatchResult run_pipelined(const BatchRun& run,
+                             const PipelineSchedule& schedule,
+                             ThreadPool* pool) {
+  upmem::PimSystem& system = run.system;
+  const usize chunks = schedule.chunks();
+  const KernelCosts costs = run.options.costs;
+  // Every chunk slices all DPUs, so its transfers span the full rank set
+  // and run at full rank parallelism.
+  const usize ranks = system.ranks_spanned(0, run.logical);
+
+  // Fill phase: one header per DPU (the batch geometry is chunk-invariant)
+  // and the MRAM extents reserved so the overlapped stages can touch
+  // disjoint regions of one DPU concurrently.
+  u64 header_bytes_unsimulated = 0;
+  for (usize d = 0; d < run.simulated; ++d) {
+    const auto [begin, end] = run.range_of(d);
+    const BatchLayout layout = run.layout_for(end - begin);
+    const BatchHeader& h = layout.header();
+    system.reserve_mram(d, layout.total_bytes());
+    system.copy_to_mram(d, 0,
+                        {reinterpret_cast<const u8*>(&h), sizeof(BatchHeader)});
+  }
+  header_bytes_unsimulated =
+      static_cast<u64>(run.logical - run.simulated) * sizeof(BatchHeader);
+  system.account_to_device(header_bytes_unsimulated);
+
+  // Per-chunk transfer volumes over the whole logical system (the timing
+  // model's input; simulated DPUs contribute via real copies, the rest via
+  // accounting).
+  const u64 pair_stride = run.layout_for(1).header().pair_stride;
+  const u64 result_stride = run.layout_for(1).header().result_stride;
+  std::vector<u64> scatter_bytes(chunks, 0);
+  std::vector<u64> gather_bytes(chunks, 0);
+  for (usize d = 0; d < run.logical; ++d) {
+    const auto [begin, end] = run.range_of(d);
+    for (usize c = 0; c < chunks; ++c) {
+      const auto [sb, se] = PipelineSchedule::slice(end - begin, chunks, c,
+                                                    run.options.nr_tasklets);
+      scatter_bytes[c] += static_cast<u64>(se - sb) * pair_stride;
+      gather_bytes[c] += static_cast<u64>(se - sb) * result_stride;
+    }
+  }
+  const u64 launch_arg_bytes =
+      static_cast<u64>(run.logical) * WfaDpuKernel::kLaunchArgBytes;
+  for (usize c = 0; c < chunks; ++c) scatter_bytes[c] += launch_arg_bytes;
+  scatter_bytes[0] +=
+      static_cast<u64>(run.logical) * sizeof(BatchHeader);
+
+  PimBatchResult out;
+  out.results.resize(run.simulated_pairs());
+  std::vector<upmem::LaunchStats> launches(chunks);
+  std::vector<std::vector<u64>> launch_cycles(chunks);
+
+  // Stage bodies. Each touches only its chunk's slice of every DPU, so
+  // stages of different chunks are data-race free once the MRAM extents
+  // are reserved.
+  auto scatter_chunk = [&](usize c) {
+    std::vector<u8> record;
+    u64 accounted = WfaDpuKernel::kLaunchArgBytes * static_cast<u64>(run.logical);
+    for (usize d = 0; d < run.simulated; ++d) {
+      const auto [begin, end] = run.range_of(d);
+      const BatchLayout layout = run.layout_for(end - begin);
+      const auto [sb, se] = PipelineSchedule::slice(end - begin, chunks, c,
+                                                    run.options.nr_tasklets);
+      for (usize p = sb; p < se; ++p) {
+        write_pair_record(system, d, layout, run.batch[begin + p], p,
+                          run.options.packed_sequences, record);
+      }
+    }
+    for (usize d = run.simulated; d < run.logical; ++d) {
+      const auto [begin, end] = run.range_of(d);
+      const auto [sb, se] = PipelineSchedule::slice(end - begin, chunks, c,
+                                                    run.options.nr_tasklets);
+      accounted += static_cast<u64>(se - sb) * pair_stride;
+    }
+    system.account_to_device(accounted);
+  };
+  auto kernel_chunk = [&](usize c) {
+    // Stages already run concurrently; keep the per-DPU loop serial to
+    // avoid nesting pool waits inside pool tasks.
+    launches[c] = system.launch_group(
+        0, run.simulated,
+        [&, c](usize d) {
+          const auto [begin, end] = run.range_of(d);
+          const auto [sb, se] = PipelineSchedule::slice(
+              end - begin, chunks, c, run.options.nr_tasklets);
+          return std::make_unique<WfaDpuKernel>(
+              costs, static_cast<u64>(sb), static_cast<u64>(se - sb));
+        },
+        run.options.nr_tasklets, nullptr, &launch_cycles[c]);
+  };
+  auto gather_chunk = [&](usize c) {
+    std::vector<u8> record;
+    u64 accounted = 0;
+    for (usize d = 0; d < run.simulated; ++d) {
+      const auto [begin, end] = run.range_of(d);
+      const BatchLayout layout = run.layout_for(end - begin);
+      const auto [sb, se] = PipelineSchedule::slice(end - begin, chunks, c,
+                                                    run.options.nr_tasklets);
+      for (usize p = sb; p < se; ++p) {
+        out.results[begin + p] = read_result_record(system, d, layout, p,
+                                                    run.full, record);
+      }
+    }
+    for (usize d = run.simulated; d < run.logical; ++d) {
+      const auto [begin, end] = run.range_of(d);
+      const auto [sb, se] = PipelineSchedule::slice(end - begin, chunks, c,
+                                                    run.options.nr_tasklets);
+      accounted += static_cast<u64>(se - sb) * result_stride;
+    }
+    system.account_from_device(accounted);
+  };
+
+  // Software pipeline: at tick t, scatter(t), kernel(t-1) and gather(t-2)
+  // are in flight together (on `pool` when it has workers to spare; the
+  // modeled timing is identical either way).
+  const bool concurrent = pool != nullptr && pool->size() >= 2;
+  for (usize tick = 0; tick < chunks + 2; ++tick) {
+    std::vector<std::function<void()>> stages;
+    if (tick < chunks) stages.push_back([&, tick] { scatter_chunk(tick); });
+    if (tick >= 1 && tick - 1 < chunks) {
+      stages.push_back([&, tick] { kernel_chunk(tick - 1); });
+    }
+    if (tick >= 2 && tick - 2 < chunks) {
+      stages.push_back([&, tick] { gather_chunk(tick - 2); });
+    }
+    if (concurrent) {
+      std::vector<std::future<void>> inflight;
+      inflight.reserve(stages.size());
+      for (auto& stage : stages) inflight.push_back(pool->submit(stage));
+      std::exception_ptr first_error;
+      for (auto& f : inflight) {
+        try {
+          f.get();
+        } catch (...) {
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+      if (first_error) std::rethrow_exception(first_error);
+    } else {
+      for (auto& stage : stages) stage();
+    }
+  }
+
+  // --- timings ---------------------------------------------------------
+  const upmem::CostModel& model = system.cost_model();
+  std::vector<ChunkTiming> chunk_timings(chunks);
+  PimTimings& t = out.timings;
+  for (usize c = 0; c < chunks; ++c) {
+    ChunkTiming& ct = chunk_timings[c];
+    ct.scatter_seconds = model.transfer_seconds(scatter_bytes[c], ranks);
+    ct.kernel_seconds = launches[c].kernel_seconds(run.options.system);
+    ct.gather_seconds = model.transfer_seconds(gather_bytes[c], ranks);
+    ct.launch_overhead_seconds = run.options.system.host_launch_overhead_s;
+    ct.dpu_kernel_seconds.reserve(launch_cycles[c].size());
+    for (const u64 cycles : launch_cycles[c]) {
+      ct.dpu_kernel_seconds.push_back(
+          run.options.system.cycles_to_seconds(cycles));
+    }
+    t.scatter_seconds += ct.scatter_seconds;
+    t.kernel_seconds += ct.kernel_seconds;
+    t.gather_seconds += ct.gather_seconds;
+    t.kernel_cycles_max += launches[c].max_cycles;
+    t.kernel_cycles_total += launches[c].total_cycles;
+    t.work.merge(launches[c].combined);
+  }
+  const PipelineModel pipeline = PipelineModel::from_chunks(chunk_timings);
+  t.chunks = chunks;
+  t.pipelined_total_seconds = pipeline.total_seconds;
+  t.fill_seconds = pipeline.fill_seconds;
+  t.drain_seconds = pipeline.drain_seconds;
+  t.steady_state_seconds = pipeline.steady_state_seconds;
+  t.overlap_saved_seconds = pipeline.overlap_saved_seconds;
+  run.fill_common_timings(t);
+  return out;
+}
+
+}  // namespace
 
 PimBatchAligner::PimBatchAligner(PimOptions options)
     : options_(std::move(options)) {
@@ -17,6 +350,8 @@ PimBatchAligner::PimBatchAligner(PimOptions options)
   PIMWFA_ARG_CHECK(options_.nr_tasklets >= 1 &&
                        options_.nr_tasklets <= options_.system.max_tasklets,
                    "tasklet count outside the DPU's range");
+  PIMWFA_ARG_CHECK(options_.pipeline_max_chunks >= 1,
+                   "pipeline_max_chunks must be at least 1");
 }
 
 std::pair<usize, usize> PimBatchAligner::dpu_pair_range(usize n, usize nr_dpus,
@@ -37,132 +372,48 @@ PimBatchResult PimBatchAligner::align_batch(const seq::ReadPairSet& batch,
                               : std::min(options_.simulate_dpus, logical);
   upmem::PimSystem system(options_.system, simulated);
 
-  const bool full = scope == align::AlignmentScope::kFull;
-  const usize max_pattern = batch.max_pattern_length();
-  const usize max_text = batch.max_text_length();
+  BatchRun run{options_, batch, system};
+  run.full = scope == align::AlignmentScope::kFull;
+  run.logical = logical;
+  run.simulated = simulated;
+  run.max_pattern = batch.max_pattern_length();
+  run.max_text = batch.max_text_length();
   // Virtual batches: distribution is computed over `virtual_n` pairs, but
   // only the simulated DPUs' pairs exist in `batch`.
-  const usize virtual_n =
-      options_.virtual_total_pairs == 0 ? batch.size()
-                                        : options_.virtual_total_pairs;
-  PIMWFA_ARG_CHECK(virtual_n >= batch.size(),
+  run.virtual_n = options_.virtual_total_pairs == 0
+                      ? batch.size()
+                      : options_.virtual_total_pairs;
+  PIMWFA_ARG_CHECK(run.virtual_n >= batch.size(),
                    "virtual_total_pairs below the materialized batch");
   if (options_.virtual_total_pairs != 0) {
-    const auto [last_begin, last_end] =
-        dpu_pair_range(virtual_n, logical, simulated - 1);
-    (void)last_begin;
+    const usize last_end = run.simulated_pairs();
     PIMWFA_ARG_CHECK(batch.size() >= last_end,
                      "batch does not cover the simulated DPUs' share ("
                          << last_end << " pairs needed, " << batch.size()
                          << " provided)");
   }
 
-  // Plan per-DPU layouts. Strides depend only on global maxima; the pair
-  // count differs by at most one across DPUs.
-  auto layout_for = [&](usize nr_pairs) {
-    BatchLayout::Params params;
-    params.nr_pairs = nr_pairs;
+  if (options_.pipeline && run.virtual_n > 0) {
+    const BatchLayout probe = run.layout_for(1);
+    PipelineSchedule::Params params;
+    params.pairs = run.virtual_n;
+    params.nr_dpus = logical;
     params.nr_tasklets = options_.nr_tasklets;
-    params.max_pattern = max_pattern;
-    params.max_text = max_text;
-    params.penalties = options_.penalties;
-    params.full_alignment = full;
-    params.policy = options_.policy;
-    params.packed_sequences = options_.packed_sequences;
-    params.max_score = options_.max_score;
-    return BatchLayout::plan(params, options_.system.mram_bytes);
-  };
-
-  // --- scatter ---------------------------------------------------------
-  // Simulated DPUs get real data; the rest contribute transfer bytes only.
-  {
-    std::vector<u8> record;
-    for (usize d = 0; d < simulated; ++d) {
-      const auto [begin, end] = dpu_pair_range(virtual_n, logical, d);
-      const BatchLayout layout = layout_for(end - begin);
-      const BatchHeader& h = layout.header();
-      system.copy_to_mram(
-          d, 0,
-          {reinterpret_cast<const u8*>(&h), sizeof(BatchHeader)});
-      record.assign(static_cast<usize>(h.pair_stride), 0);
-      for (usize p = begin; p < end; ++p) {
-        const seq::ReadPair& pair = batch[p];
-        const u32 lens[2] = {static_cast<u32>(pair.pattern.size()),
-                             static_cast<u32>(pair.text.size())};
-        std::memcpy(record.data(), lens, 8);
-        if (options_.packed_sequences) {
-          seq::PackedSequence::pack_into(pair.pattern, record.data() + 8);
-          seq::PackedSequence::pack_into(
-              pair.text, record.data() + 8 + layout.pattern_field_bytes());
-        } else {
-          std::memcpy(record.data() + 8, pair.pattern.data(),
-                      pair.pattern.size());
-          std::memcpy(record.data() + 8 + layout.pattern_field_bytes(),
-                      pair.text.data(), pair.text.size());
-        }
-        system.copy_to_mram(d, layout.pair_addr(p - begin), record);
-      }
-    }
-    for (usize d = simulated; d < logical; ++d) {
-      const auto [begin, end] = dpu_pair_range(virtual_n, logical, d);
-      const BatchLayout layout = layout_for(end - begin);
-      system.account_to_device(sizeof(BatchHeader) + layout.pairs_bytes());
-    }
+    params.nr_ranks = system.ranks_in_use();
+    params.scatter_bytes =
+        static_cast<u64>(run.virtual_n) * probe.header().pair_stride +
+        static_cast<u64>(logical) * sizeof(BatchHeader);
+    params.gather_bytes =
+        static_cast<u64>(run.virtual_n) * probe.header().result_stride;
+    params.host_bandwidth =
+        system.cost_model().transfer_bandwidth(system.ranks_in_use());
+    params.launch_overhead_seconds = options_.system.host_launch_overhead_s;
+    params.requested_chunks = options_.pipeline_chunks;
+    params.max_chunks = options_.pipeline_max_chunks;
+    const PipelineSchedule schedule = PipelineSchedule::plan(params);
+    if (schedule.pipelined()) return run_pipelined(run, schedule, pool);
   }
-
-  // --- launch ----------------------------------------------------------
-  const KernelCosts costs = options_.costs;
-  const upmem::LaunchStats launch = system.launch_all(
-      [&costs](usize) { return std::make_unique<WfaDpuKernel>(costs); },
-      options_.nr_tasklets, pool);
-
-  // --- gather ----------------------------------------------------------
-  PimBatchResult out;
-  {
-    std::vector<u8> record;
-    for (usize d = 0; d < simulated; ++d) {
-      const auto [begin, end] = dpu_pair_range(virtual_n, logical, d);
-      const BatchLayout layout = layout_for(end - begin);
-      record.resize(static_cast<usize>(layout.header().result_stride));
-      for (usize p = begin; p < end; ++p) {
-        system.copy_from_mram(d, layout.result_addr(p - begin), record);
-        u32 head[2];
-        std::memcpy(head, record.data(), 8);
-        align::AlignmentResult result;
-        result.score = static_cast<i64>(head[0]);
-        if (full) {
-          const usize len = head[1];
-          PIMWFA_CHECK(8 + len <= record.size(),
-                       "DPU result CIGAR overruns its record");
-          result.cigar = seq::Cigar::from_ops(std::string(
-              reinterpret_cast<const char*>(record.data() + 8), len));
-          result.has_cigar = true;
-        }
-        out.results.push_back(std::move(result));
-      }
-    }
-    for (usize d = simulated; d < logical; ++d) {
-      const auto [begin, end] = dpu_pair_range(virtual_n, logical, d);
-      const BatchLayout layout = layout_for(end - begin);
-      system.account_from_device(layout.results_bytes());
-    }
-  }
-
-  // --- timings ---------------------------------------------------------
-  PimTimings& t = out.timings;
-  t.scatter_seconds = system.scatter_seconds();
-  t.kernel_seconds = launch.kernel_seconds(options_.system);
-  t.gather_seconds = system.gather_seconds();
-  t.kernel_cycles_max = launch.max_cycles;
-  t.kernel_cycles_total = launch.total_cycles;
-  t.bytes_to_device = system.to_device().bytes;
-  t.bytes_from_device = system.from_device().bytes;
-  t.work = launch.combined;
-  t.pairs = virtual_n;
-  t.logical_dpus = logical;
-  t.simulated_dpus = simulated;
-  t.nr_tasklets = options_.nr_tasklets;
-  return out;
+  return run_synchronous(run, pool);
 }
 
 }  // namespace pimwfa::pim

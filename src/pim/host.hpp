@@ -7,6 +7,12 @@
 //   Total  = scatter + kernel + gather
 //   Kernel = slowest DPU's cycles / clock (+ launch overhead)
 //
+// Pipelined mode (options.pipeline) splits every DPU's share into chunks
+// and overlaps scatter(i+1) / kernel(i) / gather(i-1); Total then becomes
+// the pipeline makespan (fill + steady state + drain, see pim/pipeline.hpp)
+// while the per-stage fields keep their additive meaning. Results are
+// bit-identical to the synchronous path.
+//
 // Full-scale runs (2560 DPUs) may functionally simulate only the first
 // `simulate_dpus` DPUs: the workload is distributed uniformly, the first
 // DPUs carry the (ceil) heaviest shares, and the unsimulated DPUs' traffic
@@ -21,6 +27,7 @@
 #include "common/thread_pool.hpp"
 #include "pim/cost_table.hpp"
 #include "pim/layout.hpp"
+#include "pim/pipeline.hpp"
 #include "seq/dataset.hpp"
 #include "upmem/system.hpp"
 
@@ -49,17 +56,36 @@ struct PimOptions {
   // batch. This is how the paper-scale 5M-pair runs stay tractable.
   usize virtual_total_pairs = 0;
   KernelCosts costs = kDefaultKernelCosts;
+
+  // --- pipelined execution ---------------------------------------------
+  // Overlap scatter/kernel/gather across chunks of the batch. Falls back
+  // to the synchronous path when the planner decides one chunk is best.
+  bool pipeline = false;
+  // Chunk count; 0 lets PipelineSchedule choose from the batch size, the
+  // rank topology and the per-launch overheads.
+  usize pipeline_chunks = 0;
+  // Upper bound on the planner's chunk choice.
+  usize pipeline_max_chunks = 64;
 };
 
 struct PimTimings {
+  // Stage-busy time, summed over chunks (equals the phase wall time in the
+  // synchronous path).
   double scatter_seconds = 0;
   double kernel_seconds = 0;
   double gather_seconds = 0;
+
+  // Modeled end-to-end time: additive for the synchronous path, the
+  // overlapped pipeline makespan when chunks > 1.
   double total_seconds() const {
+    return chunks > 1 ? pipelined_total_seconds : additive_seconds();
+  }
+  // Sum of the stage times regardless of overlap (the synchronous law).
+  double additive_seconds() const {
     return scatter_seconds + kernel_seconds + gather_seconds;
   }
 
-  u64 kernel_cycles_max = 0;    // slowest DPU
+  u64 kernel_cycles_max = 0;    // slowest DPU (summed over chunk launches)
   u64 kernel_cycles_total = 0;  // summed over simulated DPUs
   u64 bytes_to_device = 0;
   u64 bytes_from_device = 0;
@@ -69,6 +95,14 @@ struct PimTimings {
   usize logical_dpus = 0;
   usize simulated_dpus = 0;
   usize nr_tasklets = 0;
+
+  // --- pipelined execution (chunks > 1; zero otherwise) ----------------
+  usize chunks = 1;
+  double pipelined_total_seconds = 0;  // overlapped makespan
+  double fill_seconds = 0;             // first chunk's scatter (lead-in)
+  double drain_seconds = 0;            // last chunk's gather (tail)
+  double steady_state_seconds = 0;     // makespan - fill - drain
+  double overlap_saved_seconds = 0;    // additive - makespan
 };
 
 struct PimBatchResult {
@@ -84,8 +118,9 @@ class PimBatchAligner {
   explicit PimBatchAligner(PimOptions options);
 
   // Align the batch on the simulated PIM system. `pool`, if given,
-  // parallelizes the host-side simulation of independent DPUs (a simulator
-  // concern only; it does not affect modeled timing).
+  // parallelizes the host-side simulation: independent DPUs in the
+  // synchronous path, concurrent pipeline stages in pipelined mode (a
+  // simulator concern only; it does not affect modeled timing).
   PimBatchResult align_batch(const seq::ReadPairSet& batch,
                              align::AlignmentScope scope,
                              ThreadPool* pool = nullptr);

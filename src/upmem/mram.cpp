@@ -43,6 +43,11 @@ void Mram::read(u64 addr, void* dst, usize bytes) const {
   }
 }
 
+void Mram::reserve(u64 end) {
+  check_range(0, static_cast<usize>(end));
+  ensure(end);
+}
+
 void Mram::write(u64 addr, const void* src, usize bytes) {
   check_range(addr, bytes);
   if (bytes == 0) return;

@@ -23,6 +23,12 @@ class Mram {
   void read(u64 addr, void* dst, usize bytes) const;
   void write(u64 addr, const void* src, usize bytes);
 
+  // Pre-grow the backing store to cover [0, end). Concurrent disjoint-range
+  // read/write is safe only after the touched extent is reserved (lazy
+  // growth reallocates the store) - the pipelined host path reserves each
+  // DPU's batch extent before overlapping stages.
+  void reserve(u64 end);
+
   // Zero the first `bytes` bytes (host-side convenience).
   void clear(u64 bytes);
 

@@ -1,7 +1,6 @@
 #include "upmem/system.hpp"
 
 #include <algorithm>
-#include <mutex>
 
 #include "common/check.hpp"
 
@@ -27,8 +26,21 @@ usize PimSystem::ranks_in_use() const noexcept {
   return config_.nr_ranks();
 }
 
+usize PimSystem::ranks_spanned(usize first_dpu, usize count) const noexcept {
+  if (count == 0) return 0;
+  const usize per_rank = config_.dpus_per_rank;
+  const usize first_rank = first_dpu / per_rank;
+  const usize last_rank = (first_dpu + count - 1) / per_rank;
+  return last_rank - first_rank + 1;
+}
+
+void PimSystem::reserve_mram(usize index, u64 bytes) {
+  dpus_.at(index)->mram().reserve(bytes);
+}
+
 void PimSystem::copy_to_mram(usize dpu, u64 addr, std::span<const u8> data) {
   dpus_.at(dpu)->mram().write(addr, data.data(), data.size());
+  std::lock_guard lock(stats_mutex_);
   to_device_.bytes += data.size();
   if (!touched_[dpu]) {
     touched_[dpu] = 1;
@@ -38,29 +50,58 @@ void PimSystem::copy_to_mram(usize dpu, u64 addr, std::span<const u8> data) {
 
 void PimSystem::copy_from_mram(usize dpu, u64 addr, std::span<u8> out) const {
   dpus_.at(dpu)->mram().read(addr, out.data(), out.size());
-  const_cast<PimSystem*>(this)->from_device_.bytes += out.size();
+  std::lock_guard lock(stats_mutex_);
+  from_device_.bytes += out.size();
 }
 
-void PimSystem::reset_transfer_stats() noexcept {
+void PimSystem::reset_transfer_stats() {
+  std::lock_guard lock(stats_mutex_);
   to_device_ = TransferStats{};
   from_device_ = TransferStats{};
   std::fill(touched_.begin(), touched_.end(), 0);
 }
 
-LaunchStats PimSystem::launch_all(
+void PimSystem::account_to_device(u64 bytes) {
+  std::lock_guard lock(stats_mutex_);
+  to_device_.bytes += bytes;
+}
+
+void PimSystem::account_from_device(u64 bytes) {
+  std::lock_guard lock(stats_mutex_);
+  from_device_.bytes += bytes;
+}
+
+TransferStats PimSystem::to_device() const {
+  std::lock_guard lock(stats_mutex_);
+  return to_device_;
+}
+
+TransferStats PimSystem::from_device() const {
+  std::lock_guard lock(stats_mutex_);
+  return from_device_;
+}
+
+LaunchStats PimSystem::launch_group(
+    usize first, usize count,
     const std::function<std::unique_ptr<DpuKernel>(usize)>& factory,
-    usize nr_tasklets, ThreadPool* pool) {
+    usize nr_tasklets, ThreadPool* pool, std::vector<u64>* per_dpu_cycles) {
+  PIMWFA_ARG_CHECK(first <= dpus_.size() && count <= dpus_.size() - first,
+                   "launch group [" << first << ", " << first + count
+                                    << ") exceeds the " << dpus_.size()
+                                    << " simulated DPUs");
   LaunchStats stats;
-  stats.dpus = dpus_.size();
+  stats.dpus = count;
+  if (per_dpu_cycles != nullptr) per_dpu_cycles->assign(count, 0);
   std::mutex merge_mutex;
   auto run_range = [&](usize begin, usize end) {
     u64 local_max = 0;
     u64 local_total = 0;
     TaskletStats local_combined;
-    for (usize d = begin; d < end; ++d) {
+    for (usize d = first + begin; d < first + end; ++d) {
       std::unique_ptr<DpuKernel> kernel = factory(d);
       PIMWFA_CHECK(kernel != nullptr, "kernel factory returned null");
       const DpuRunStats run = dpus_[d]->launch(*kernel, nr_tasklets);
+      if (per_dpu_cycles != nullptr) (*per_dpu_cycles)[d - first] = run.cycles;
       local_max = std::max(local_max, run.cycles);
       local_total += run.cycles;
       local_combined.merge(run.combined());
@@ -71,19 +112,19 @@ LaunchStats PimSystem::launch_all(
     stats.combined.merge(local_combined);
   };
   if (pool != nullptr) {
-    pool->parallel_for(dpus_.size(), run_range);
+    pool->parallel_for(count, run_range);
   } else {
-    run_range(0, dpus_.size());
+    run_range(0, count);
   }
   return stats;
 }
 
 double PimSystem::scatter_seconds() const {
-  return cost_model_.transfer_seconds(to_device_.bytes, ranks_in_use());
+  return cost_model_.transfer_seconds(to_device().bytes, ranks_in_use());
 }
 
 double PimSystem::gather_seconds() const {
-  return cost_model_.transfer_seconds(from_device_.bytes, ranks_in_use());
+  return cost_model_.transfer_seconds(from_device().bytes, ranks_in_use());
 }
 
 }  // namespace pimwfa::upmem

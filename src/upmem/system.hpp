@@ -2,10 +2,17 @@
 // launch machinery, with the timing breakdown of the paper's Fig. 1
 // (scatter -> kernel -> gather; "Total" includes transfers, "Kernel" does
 // not).
+//
+// The transfer and launch entry points are stage-granular and thread-safe
+// so the pipelined host path can run scatter(i+1), kernel(i) and
+// gather(i-1) concurrently: byte accounting is mutex-guarded, launches can
+// target a DPU subrange, and MRAM extents can be pre-reserved to make
+// concurrent disjoint-range access safe.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -26,7 +33,7 @@ struct TransferStats {
   }
 };
 
-// Result of launching a kernel across the system.
+// Result of launching a kernel across a DPU group.
 struct LaunchStats {
   u64 max_cycles = 0;     // slowest DPU (kernel wall time)
   u64 total_cycles = 0;   // sum over DPUs (energy-proportional work)
@@ -54,31 +61,54 @@ class PimSystem {
   usize logical_dpus() const noexcept { return config_.nr_dpus(); }
   usize ranks_in_use() const noexcept;
 
+  // Ranks a contiguous range of `count` logical DPUs starting at
+  // `first_dpu` spans; transfers to that range proceed at this many
+  // ranks' parallelism. The pipelined path slices every DPU, so it passes
+  // the full logical range; DPU-subset transfers would pass their group.
+  usize ranks_spanned(usize first_dpu, usize count) const noexcept;
+
   Dpu& dpu(usize index) { return *dpus_.at(index); }
   const Dpu& dpu(usize index) const { return *dpus_.at(index); }
 
-  // --- host<->MRAM transfers (byte-accounted) -------------------------
+  // Pre-grow DPU `index`'s MRAM store to cover [0, bytes). Required before
+  // overlapping host stages touch that DPU's MRAM concurrently.
+  void reserve_mram(usize index, u64 bytes);
+
+  // --- host<->MRAM transfers (byte-accounted, thread-safe) -------------
   void copy_to_mram(usize dpu, u64 addr, std::span<const u8> data);
   void copy_from_mram(usize dpu, u64 addr, std::span<u8> out) const;
 
   // Traffic recorded since the last reset_transfer_stats(), split by
-  // direction.
-  const TransferStats& to_device() const noexcept { return to_device_; }
-  const TransferStats& from_device() const noexcept { return from_device_; }
-  void reset_transfer_stats() noexcept;
+  // direction. Read these only while no transfer stage is in flight.
+  TransferStats to_device() const;
+  TransferStats from_device() const;
+  void reset_transfer_stats();
 
   // Record traffic without materializing it (used when only a subset of a
   // uniform workload is functionally simulated; the remaining bytes still
   // cross the bus in the timing model).
-  void account_to_device(u64 bytes) noexcept { to_device_.bytes += bytes; }
-  void account_from_device(u64 bytes) noexcept { from_device_.bytes += bytes; }
+  void account_to_device(u64 bytes);
+  void account_from_device(u64 bytes);
 
   // --- launch ----------------------------------------------------------
-  // Launch one kernel instance per simulated DPU. `factory(dpu_index)`
-  // builds the per-DPU kernel object. Runs on `pool` if given.
+  // Launch one kernel instance per simulated DPU in [first, first+count).
+  // `factory(dpu_index)` builds the per-DPU kernel object. Runs on `pool`
+  // if given. Thread-safe against concurrent transfer stages targeting
+  // other MRAM regions. When `per_dpu_cycles` is given it is resized to
+  // `count` and filled with each DPU's kernel cycles (the async-launch
+  // pipeline model consumes them).
+  LaunchStats launch_group(
+      usize first, usize count,
+      const std::function<std::unique_ptr<DpuKernel>(usize)>& factory,
+      usize nr_tasklets, ThreadPool* pool = nullptr,
+      std::vector<u64>* per_dpu_cycles = nullptr);
+
+  // Launch across every simulated DPU.
   LaunchStats launch_all(
       const std::function<std::unique_ptr<DpuKernel>(usize)>& factory,
-      usize nr_tasklets, ThreadPool* pool = nullptr);
+      usize nr_tasklets, ThreadPool* pool = nullptr) {
+    return launch_group(0, dpus_.size(), factory, nr_tasklets, pool);
+  }
 
   // Convenience timing queries for the Fig. 1 breakdown.
   double scatter_seconds() const;
@@ -88,8 +118,9 @@ class PimSystem {
   SystemConfig config_;
   CostModel cost_model_;
   std::vector<std::unique_ptr<Dpu>> dpus_;
-  TransferStats to_device_;
-  TransferStats from_device_;
+  mutable std::mutex stats_mutex_;
+  mutable TransferStats to_device_;
+  mutable TransferStats from_device_;
   mutable std::vector<u8> touched_;  // per-DPU traffic flags
 };
 

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <stdexcept>
 #include <vector>
 
@@ -54,6 +56,52 @@ TEST(ThreadPool, ParallelForSmallerThanPool) {
     for (usize i = begin; i < end; ++i) ++hits[i];
   });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// Regression: small-n ranges must spread over n single-element chunks so
+// every worker that can help does, instead of collapsing onto one chunk.
+TEST(ThreadPool, ParallelForSmallNUsesOneChunkPerElement) {
+  ThreadPool pool(8);
+  std::mutex mutex;
+  std::vector<std::pair<usize, usize>> seen;
+  pool.parallel_for(3, [&](usize begin, usize end) {
+    std::lock_guard lock(mutex);
+    seen.emplace_back(begin, end);
+  });
+  ASSERT_EQ(seen.size(), 3u);
+  for (const auto& [begin, end] : seen) EXPECT_EQ(end - begin, 1u);
+}
+
+TEST(ThreadPool, PartitionIsExact) {
+  for (const usize n : {0u, 1u, 2u, 3u, 7u, 8u, 9u, 100u, 1000u}) {
+    for (const usize chunks : {1u, 2u, 3u, 8u, 64u}) {
+      const auto ranges = ThreadPool::partition(n, chunks);
+      ASSERT_EQ(ranges.size(), std::min(n, chunks)) << n << "/" << chunks;
+      usize covered = 0;
+      usize expect_begin = 0;
+      for (const auto& [begin, end] : ranges) {
+        EXPECT_EQ(begin, expect_begin) << n << "/" << chunks;
+        EXPECT_LT(begin, end) << "empty chunk at n=" << n;
+        covered += end - begin;
+        expect_begin = end;
+      }
+      EXPECT_EQ(covered, n) << n << "/" << chunks;
+      // Balanced: sizes differ by at most one.
+      if (!ranges.empty()) {
+        usize lo = n;
+        usize hi = 0;
+        for (const auto& [begin, end] : ranges) {
+          lo = std::min(lo, end - begin);
+          hi = std::max(hi, end - begin);
+        }
+        EXPECT_LE(hi - lo, 1u) << n << "/" << chunks;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, PartitionZeroChunks) {
+  EXPECT_TRUE(ThreadPool::partition(5, 0).empty());
 }
 
 TEST(ThreadPool, ParallelForPropagatesException) {
