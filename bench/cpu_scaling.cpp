@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   for (const double error_rate : {0.02, 0.04}) {
     const seq::ReadPairSet batch =
         seq::fig1_dataset(std::min(sample, pairs), error_rate, 0xC50);
-    cpu::CpuBatchAligner aligner({align::Penalties::defaults(), 1});
+    cpu::CpuBatchAligner aligner(cpu::CpuBatchOptions{align::Penalties::defaults(), 1});
     const cpu::CpuBatchResult measured =
         aligner.align_batch(batch, align::AlignmentScope::kFull);
     const double scale =

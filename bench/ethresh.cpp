@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
         pim_aligner.align_batch(share, align::AlignmentScope::kFull);
 
     // CPU: measured on the same per-DPU sample, projected.
-    cpu::CpuBatchAligner cpu_aligner({align::Penalties::defaults(), 1});
+    cpu::CpuBatchAligner cpu_aligner(cpu::CpuBatchOptions{align::Penalties::defaults(), 1});
     const cpu::CpuBatchResult measured =
         cpu_aligner.align_batch(batch, align::AlignmentScope::kFull);
     const double scale = static_cast<double>(modeled_pairs) /

@@ -1,13 +1,18 @@
 // Dataset utility: generate synthetic read-pair datasets (the WFA-paper
-// protocol), convert between formats (.seq text / binary / FASTA), and
-// print statistics.
+// protocol), convert between formats (.seq text / binary / FASTA), print
+// statistics, and align a dataset on any registered batch backend.
 //
-//   ./build/examples/dataset_tools generate --pairs 1000 --error-rate 0.04 --out pairs.seq
-//   ./build/examples/dataset_tools stats pairs.seq
-//   ./build/examples/dataset_tools convert pairs.seq pairs.bin
+//   ./build/bin/dataset_tools generate --pairs 1000 --error-rate 0.04
+//                                      --out pairs.seq
+//   ./build/bin/dataset_tools stats pairs.seq
+//   ./build/bin/dataset_tools convert pairs.seq pairs.bin
+//   ./build/bin/dataset_tools align pairs.seq --backend=hybrid
 #include <iostream>
 
+#include "align/cli.hpp"
+#include "align/registry.hpp"
 #include "common/cli.hpp"
+#include "common/stats.hpp"
 #include "common/strings.hpp"
 #include "seq/fasta.hpp"
 #include "seq/generator.hpp"
@@ -44,11 +49,13 @@ void save_any(const std::string& path, const seq::ReadPairSet& set) {
 }
 
 int usage() {
-  std::cout << "usage: dataset_tools <generate|stats|convert> [flags]\n"
+  std::cout << "usage: dataset_tools <generate|stats|convert|align> [flags]\n"
             << "  generate --pairs N --read-length L --error-rate E --seed S"
             << " --out FILE\n"
             << "  stats FILE\n"
-            << "  convert IN OUT        (.seq / .bin / .fa by extension)\n";
+            << "  convert IN OUT        (.seq / .bin / .fa by extension)\n"
+            << "  align FILE --backend B  (any registered backend:\n"
+            << pimwfa::align::backend_registry().describe();
   return 2;
 }
 
@@ -61,12 +68,12 @@ int main(int argc, char** argv) {
 
   try {
     if (command == "generate") {
+      const align::BatchFlags flags = align::parse_batch_flags(cli);
       seq::GeneratorConfig config;
-      config.pairs = static_cast<usize>(cli.get_int("pairs", 1000, ""));
-      config.read_length =
-          static_cast<usize>(cli.get_int("read-length", 100, ""));
-      config.error_rate = cli.get_double("error-rate", 0.02, "");
-      config.seed = static_cast<u64>(cli.get_int("seed", 42, ""));
+      config.pairs = flags.pairs;
+      config.read_length = flags.read_length;
+      config.error_rate = flags.error_rate;
+      config.seed = flags.seed;
       const std::string out = cli.get_string("out", "pairs.seq", "");
       const seq::ReadPairSet set = seq::generate_dataset(config);
       save_any(out, set);
@@ -94,6 +101,33 @@ int main(int argc, char** argv) {
       save_any(cli.positional()[2], set);
       std::cout << "converted " << with_commas(set.size()) << " pairs: "
                 << cli.positional()[1] << " -> " << cli.positional()[2] << "\n";
+      return 0;
+    }
+    if (command == "align") {
+      if (cli.positional().size() < 2) return usage();
+      align::BatchFlags defaults;
+      defaults.backend = "cpu";
+      defaults.options.pim_dpus = 4;
+      const align::BatchFlags flags = align::parse_batch_flags(cli, defaults);
+      const seq::ReadPairSet set = load_any(cli.positional()[1]);
+      const auto backend =
+          align::backend_registry().create(flags.backend, flags.options);
+      const align::BatchResult result = backend->run(set, flags.scope());
+      RunningStats scores;
+      for (const align::AlignmentResult& r : result.results) {
+        scores.add(static_cast<double>(r.score));
+      }
+      std::cout << "aligned " << with_commas(result.results.size())
+                << " pairs on backend '" << result.backend << "'\n";
+      std::cout << strprintf(
+          "scores        : best %.0f, mean %.1f, worst %.0f\n", scores.min(),
+          scores.mean(), scores.max());
+      std::cout << "modeled time  : "
+                << format_seconds(result.timings.modeled_seconds) << " ("
+                << with_commas(static_cast<u64>(result.timings.throughput()))
+                << " pairs/s)\n";
+      std::cout << "host wall     : "
+                << format_seconds(result.timings.wall_seconds) << "\n";
       return 0;
     }
   } catch (const Error& error) {

@@ -1,90 +1,99 @@
-// End-to-end PIM pipeline on the simulated UPMEM system: generate a read
-// batch, scatter it across DPU MRAMs, run the WFA kernel on every DPU with
-// 24 tasklets, gather results, and report the Fig.1-style timing
-// breakdown.
+// End-to-end batch alignment through the unified backend registry:
+// generate a read batch, run it on the backend named by --backend (the
+// simulated PIM system by default), and report the Fig.1-style timing
+// breakdown in the unified BatchTimings vocabulary.
 //
-//   ./build/examples/pim_batch_align
-//   ./build/examples/pim_batch_align --pairs 20000 --dpus 16 --tasklets 12
+//   ./build/bin/pim_batch_align
+//   ./build/bin/pim_batch_align --pairs 20000 --dpus 16 --tasklets 12
+//   ./build/bin/pim_batch_align --backend=pim-pipelined --chunks 4
+//   ./build/bin/pim_batch_align --backend=hybrid
 #include <iostream>
 
-#include "common/cli.hpp"
+#include "align/cli.hpp"
+#include "align/registry.hpp"
 #include "common/strings.hpp"
 #include "cpu/cpu_batch.hpp"
-#include "pim/host.hpp"
 #include "seq/generator.hpp"
 
 int main(int argc, char** argv) {
   using namespace pimwfa;
   Cli cli(argc, argv);
-  cli.set_description("Batch alignment on the simulated UPMEM PIM system");
-  const usize pairs =
-      static_cast<usize>(cli.get_int("pairs", 8192, "read pairs"));
-  const usize dpus = static_cast<usize>(cli.get_int("dpus", 8, "DPUs"));
-  const usize tasklets =
-      static_cast<usize>(cli.get_int("tasklets", 24, "tasklets per DPU"));
-  const double error_rate =
-      cli.get_double("error-rate", 0.02, "edit-distance threshold");
-  const bool pipeline = cli.get_bool(
-      "pipeline", false, "overlap scatter/kernel/gather across chunks");
-  const usize chunks = static_cast<usize>(
-      cli.get_int("chunks", 0, "pipeline chunk count (0 = planner)"));
+  cli.set_description("Batch alignment through the backend registry");
+  align::BatchFlags defaults;
+  defaults.backend = "pim";
+  defaults.pairs = 8192;
+  defaults.options.pim_dpus = 8;
+  align::BatchFlags flags;
+  try {
+    flags = align::parse_batch_flags(cli, defaults);
+  } catch (const Error& error) {
+    std::cerr << "pim_batch_align: " << error.what() << "\n";
+    return 2;
+  }
+  if (flags.pairs == 0 && !cli.help_requested()) {
+    std::cerr << "pim_batch_align: --pairs must be >= 1\n";
+    return 2;
+  }
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
   }
 
-  const seq::ReadPairSet batch = seq::fig1_dataset(pairs, error_rate);
-  std::cout << "Aligning " << with_commas(pairs) << " pairs of 100bp reads"
-            << " (E=" << error_rate * 100 << "%) on " << dpus << " DPUs x "
-            << tasklets << " tasklets\n\n";
+  const seq::ReadPairSet batch =
+      seq::fig1_dataset(flags.pairs, flags.error_rate);
+  std::cout << "Aligning " << with_commas(flags.pairs)
+            << " pairs of 100bp reads (E=" << flags.error_rate * 100
+            << "%) on backend '" << flags.backend << "'\n\n";
 
-  pim::PimOptions options;
-  options.system = upmem::SystemConfig::tiny(dpus);
-  options.nr_tasklets = tasklets;
-  options.pipeline = pipeline;
-  options.pipeline_chunks = chunks;
-  pim::PimBatchAligner aligner(options);
-  ThreadPool pool(3);  // one worker per in-flight pipeline stage
-  const pim::PimBatchResult result =
-      aligner.align_batch(batch, align::AlignmentScope::kFull, &pool);
+  ThreadPool pool(4);
+  const auto backend =
+      align::backend_registry().create(flags.backend, flags.options);
+  const align::BatchResult result = backend->run(batch, flags.scope(), &pool);
 
-  const pim::PimTimings& t = result.timings;
-  std::cout << "scatter : " << format_seconds(t.scatter_seconds) << "  ("
-            << format_bytes(t.bytes_to_device) << " to MRAM)\n";
-  std::cout << "kernel  : " << format_seconds(t.kernel_seconds) << "  ("
-            << with_commas(t.kernel_cycles_max) << " cycles on the slowest"
-            << " DPU)\n";
-  std::cout << "gather  : " << format_seconds(t.gather_seconds) << "  ("
-            << format_bytes(t.bytes_from_device) << " from MRAM)\n";
-  std::cout << "total   : " << format_seconds(t.total_seconds()) << "  => "
-            << with_commas(static_cast<u64>(static_cast<double>(pairs) /
-                                            t.total_seconds()))
-            << " pairs/s\n";
-  if (t.chunks > 1) {
-    std::cout << "pipeline: " << t.chunks << " chunks; fill "
-              << format_seconds(t.fill_seconds) << " + steady "
-              << format_seconds(t.steady_state_seconds) << " + drain "
-              << format_seconds(t.drain_seconds) << "; "
-              << format_seconds(t.overlap_saved_seconds)
-              << " of stage time hidden\n";
+  const align::BatchTimings& t = result.timings;
+  if (t.pim_pairs > 0) {
+    std::cout << "scatter : " << format_seconds(t.scatter_seconds) << "  ("
+              << format_bytes(t.bytes_to_device) << " to MRAM)\n";
+    std::cout << "kernel  : " << format_seconds(t.kernel_seconds) << "\n";
+    std::cout << "gather  : " << format_seconds(t.gather_seconds) << "  ("
+              << format_bytes(t.bytes_from_device) << " from MRAM)\n";
+  }
+  if (t.cpu_pairs > 0) {
+    std::cout << "cpu     : " << format_seconds(t.cpu_modeled_seconds)
+              << " modeled (" << with_commas(t.cpu_pairs) << " pairs, "
+              << format_seconds(t.cpu_wall_seconds) << " host wall)\n";
+  }
+  std::cout << "total   : " << format_seconds(t.modeled_seconds)
+            << " modeled  => "
+            << with_commas(static_cast<u64>(t.throughput())) << " pairs/s\n";
+  if (t.pipeline_chunks > 1) {
+    std::cout << "pipeline: " << t.pipeline_chunks << " chunks\n";
+  }
+  if (result.backend == "hybrid") {
+    std::cout << "split   : " << with_commas(t.cpu_pairs) << " pairs on CPU, "
+              << with_commas(t.pim_pairs) << " on PIM ("
+              << strprintf("%.1f%%", t.cpu_fraction * 100) << " CPU; alone: "
+              << format_seconds(t.cpu_alone_seconds) << " CPU, "
+              << format_seconds(t.pim_alone_seconds) << " PIM)\n";
   }
   std::cout << "\n";
-  std::cout << "DPU work: " << with_commas(t.work.instructions)
-            << " instructions, " << with_commas(t.work.dma_calls)
-            << " DMA transfers (" << format_bytes(t.work.dma_bytes) << ")\n";
 
   // Cross-check a few results against the host implementation.
-  cpu::CpuBatchAligner host({align::Penalties::defaults(), 1});
+  if (result.results.size() != batch.size()) {
+    std::cerr << "backend materialized only " << result.results.size()
+              << " of " << batch.size() << " results\n";
+    return 1;
+  }
+  cpu::CpuBatchAligner host(cpu::CpuBatchOptions{flags.options.penalties, 1});
+  const usize indices[3] = {0, flags.pairs / 2, flags.pairs - 1};
   const seq::ReadPairSet sample_set(
-      {batch[0], batch[pairs / 2], batch[pairs - 1]});
+      {batch[indices[0]], batch[indices[1]], batch[indices[2]]});
   const cpu::CpuBatchResult host_result =
-      host.align_batch(sample_set, align::AlignmentScope::kFull);
-  const usize indices[3] = {0, pairs / 2, pairs - 1};
+      host.align_batch(sample_set, flags.scope());
   for (usize i = 0; i < 3; ++i) {
     const bool ok = result.results[indices[i]] == host_result.results[i];
     std::cout << "pair " << indices[i] << ": score "
-              << result.results[indices[i]].score << ", CIGAR "
-              << result.results[indices[i]].cigar.to_rle()
+              << result.results[indices[i]].score
               << (ok ? "  (matches host WFA)" : "  (MISMATCH!)") << "\n";
     if (!ok) return 1;
   }

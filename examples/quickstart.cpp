@@ -1,24 +1,56 @@
-// Quickstart: align two sequences with the WFA library and inspect the
-// result. Build and run:
+// Quickstart: align two sequences with the WFA library, then run a small
+// batch through the unified backend registry. Build and run:
 //
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
-//   ./build/examples/quickstart ACGTTAGCT ACGTAGCT
+//   ./build/bin/quickstart
+//   ./build/bin/quickstart ACGTTAGCT ACGTAGCT
+//   ./build/bin/quickstart --backend=hybrid
+//   ./build/bin/quickstart --backend=pim-pipelined --pairs 2048
 #include <iostream>
 
+#include "align/cli.hpp"
+#include "align/registry.hpp"
 #include "align/verify.hpp"
 #include "baselines/gotoh.hpp"
+#include "common/strings.hpp"
+#include "seq/generator.hpp"
 #include "wfa/wfa_aligner.hpp"
 
 int main(int argc, char** argv) {
   using namespace pimwfa;
 
-  const std::string pattern = argc > 1 ? argv[1] : "TCTTTACTCGCGCGTTGGAGAAATACAATAGT";
-  const std::string text = argc > 2 ? argv[2] : "TCTATACTGCGCGTTTGGAGAAATAAAATAGT";
+  Cli cli(argc, argv);
+  cli.set_description("WFA quickstart: one pair, then a registry batch");
+  align::BatchFlags defaults;
+  defaults.backend = "cpu";
+  defaults.pairs = 512;
+  defaults.options.pim_dpus = 4;
+  defaults.options.cpu_threads = 2;
+  align::BatchFlags flags;
+  try {
+    flags = align::parse_batch_flags(cli, defaults);
+  } catch (const Error& error) {
+    std::cerr << "quickstart: " << error.what() << "\n";
+    return 2;
+  }
+  if (flags.pairs == 0 && !cli.help_requested()) {
+    std::cerr << "quickstart: --pairs must be >= 1\n";
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.help();
+    return 0;
+  }
 
-  // Gap-affine penalties: mismatch 4, gap open 6, gap extend 2 (the WFA
-  // paper's defaults; lower score = better).
-  const align::Penalties penalties = align::Penalties::defaults();
+  const std::string pattern = !cli.positional().empty()
+                                  ? cli.positional()[0]
+                                  : "TCTTTACTCGCGCGTTGGAGAAATACAATAGT";
+  const std::string text = cli.positional().size() > 1
+                               ? cli.positional()[1]
+                               : "TCTATACTGCGCGTTTGGAGAAATAAAATAGT";
+
+  // --- part 1: one pair through the WFA library -------------------------
+  const align::Penalties penalties = flags.options.penalties;
   wfa::WfaAligner aligner(penalties);
 
   const align::AlignmentResult result =
@@ -41,10 +73,56 @@ int main(int argc, char** argv) {
   std::cout << "gotoh   : " << reference.score
             << (reference.score == result.score ? "  (agrees)" : "  (BUG!)")
             << "\n";
+  if (reference.score != result.score) return 1;
+
+  // --- part 2: a batch through the backend registry ---------------------
+  // Every execution backend (CPU baseline, PIM variants, the hybrid
+  // CPU+PIM split) implements align::BatchAligner; pick one by name.
+  std::cout << "\nbatch   : " << with_commas(flags.pairs) << " pairs ("
+            << flags.read_length << "bp, E=" << flags.error_rate * 100
+            << "%) on backend '" << flags.backend << "'\n";
+  seq::GeneratorConfig gen;
+  gen.pairs = flags.pairs;
+  gen.read_length = flags.read_length;
+  gen.error_rate = flags.error_rate;
+  gen.seed = flags.seed;
+  const seq::ReadPairSet batch = seq::generate_dataset(gen);
+
+  const auto backend =
+      align::backend_registry().create(flags.backend, flags.options);
+  const align::BatchResult batch_result =
+      backend->run(batch, flags.scope(), nullptr);
+  const align::BatchTimings& t = batch_result.timings;
+  std::cout << "modeled : " << format_seconds(t.modeled_seconds) << " ("
+            << with_commas(static_cast<u64>(t.throughput()))
+            << " pairs/s on the modeled hardware)\n";
+  if (batch_result.backend == "hybrid") {
+    std::cout << "split   : " << t.cpu_pairs << " pairs on CPU, "
+              << t.pim_pairs << " on PIM\n";
+  }
+
+  // Spot-check the batch results against the trusted DP reference.
+  if (batch_result.results.size() != batch.size()) {
+    std::cerr << "backend materialized only " << batch_result.results.size()
+              << " of " << batch.size() << " results\n";
+    return 1;
+  }
+  for (const usize i : {usize{0}, batch.size() / 2, batch.size() - 1}) {
+    const i64 expected =
+        gotoh.align(batch[i].pattern, batch[i].text,
+                    align::AlignmentScope::kScoreOnly).score;
+    if (batch_result.results[i].score != expected) {
+      std::cerr << "batch pair " << i << ": backend score "
+                << batch_result.results[i].score << " != gotoh " << expected
+                << "\n";
+      return 1;
+    }
+  }
+  std::cout << "verified: batch scores agree with the Gotoh DP reference\n";
 
   // Work counters show the O(ns) behaviour that makes WFA fast.
   const wfa::WfaCounters& counters = aligner.counters();
   std::cout << "work    : " << counters.computed_cells << " wavefront cells, "
             << counters.extend_matches << " matched bases\n";
-  return result.score == reference.score ? 0 : 1;
+  return 0;
 }

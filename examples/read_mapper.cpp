@@ -2,19 +2,21 @@
 // motivates high-throughput pairwise alignment (the paper's intro): a
 // reference genome is k-mer indexed, reads vote for candidate windows,
 // and every (read, window) candidate pair is verified with gap-affine
-// WFA, executed as one batch on the simulated PIM system.
+// WFA, executed as one batch on the backend named by --backend (the
+// simulated PIM system by default; try --backend=hybrid or cpu).
 //
-//   ./build/examples/read_mapper
-//   ./build/examples/read_mapper --genome 200000 --reads 2000 --error-rate 0.03
+//   ./build/bin/read_mapper
+//   ./build/bin/read_mapper --genome 200000 --reads 2000 --error-rate 0.03
+//   ./build/bin/read_mapper --backend=hybrid
 #include <iostream>
 #include <unordered_map>
 #include <vector>
 
-#include "common/cli.hpp"
+#include "align/cli.hpp"
+#include "align/registry.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "common/timer.hpp"
-#include "pim/host.hpp"
 #include "seq/alphabet.hpp"
 #include "seq/generator.hpp"
 
@@ -34,20 +36,28 @@ u64 kmer_code(std::string_view s) {
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
-  cli.set_description("Toy seed-and-extend mapper using WFA on PIM");
+  cli.set_description("Toy seed-and-extend mapper over the batch backends");
   const usize genome_len = static_cast<usize>(
       cli.get_int("genome", 100'000, "reference genome length"));
   const usize nr_reads =
       static_cast<usize>(cli.get_int("reads", 1000, "reads to map"));
-  const usize read_len =
-      static_cast<usize>(cli.get_int("read-length", 100, "read length"));
-  const double error_rate =
-      cli.get_double("error-rate", 0.02, "sequencing error rate");
-  const usize dpus = static_cast<usize>(cli.get_int("dpus", 4, "DPUs"));
+  align::BatchFlags defaults;
+  defaults.backend = "pim";
+  defaults.error_rate = 0.02;
+  defaults.options.pim_dpus = 4;
+  align::BatchFlags flags;
+  try {
+    flags = align::parse_batch_flags(cli, defaults);
+  } catch (const Error& error) {
+    std::cerr << "read_mapper: " << error.what() << "\n";
+    return 2;
+  }
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
   }
+  const usize read_len = flags.read_length;
+  const double error_rate = flags.error_rate;
 
   Rng rng(0x3A9);
   const std::string genome = seq::random_sequence(rng, genome_len);
@@ -103,16 +113,21 @@ int main(int argc, char** argv) {
             << " candidate windows for " << with_commas(nr_reads)
             << " reads (" << format_seconds(timer.seconds()) << ")\n";
 
-  // 4. Verify all candidates with WFA as one PIM batch.
-  pim::PimOptions options;
-  options.system = upmem::SystemConfig::tiny(dpus);
-  options.nr_tasklets = 24;
-  pim::PimBatchAligner aligner(options);
-  const pim::PimBatchResult batch =
-      aligner.align_batch(candidates, align::AlignmentScope::kFull);
-  std::cout << "aligned on " << dpus << " DPUs: kernel "
-            << format_seconds(batch.timings.kernel_seconds) << ", total "
-            << format_seconds(batch.timings.total_seconds()) << " (modeled)\n";
+  // 4. Verify all candidates with WFA as one batch on the chosen backend.
+  const auto backend =
+      align::backend_registry().create(flags.backend, flags.options);
+  const align::BatchResult batch =
+      backend->run(candidates, align::AlignmentScope::kFull);
+  std::cout << "aligned on backend '" << batch.backend << "': "
+            << format_seconds(batch.timings.modeled_seconds)
+            << " modeled (kernel "
+            << format_seconds(batch.timings.kernel_seconds) << ", "
+            << format_seconds(batch.timings.wall_seconds) << " host wall)\n";
+  if (batch.results.size() != candidates.size()) {
+    std::cerr << "backend materialized only " << batch.results.size()
+              << " of " << candidates.size() << " candidates\n";
+    return 1;
+  }
 
   // 5. Pick each read's best-scoring candidate and evaluate.
   const i64 unmapped = std::numeric_limits<i64>::max();

@@ -1,0 +1,52 @@
+// Built-in backend registrations. Like hybrid.cpp, this file sits above
+// the cpu/ and pim/ layers: it is where the concrete backends meet the
+// registry, so nothing else in align/ needs to know they exist.
+#include <memory>
+
+#include "align/hybrid.hpp"
+#include "align/registry.hpp"
+#include "cpu/cpu_batch.hpp"
+#include "pim/host.hpp"
+
+namespace pimwfa::align::detail {
+
+void register_builtin_backends(BackendRegistry& registry) {
+  registry.add("cpu",
+               "multi-threaded host WFA, roofline-projected onto the "
+               "paper's 56-thread Xeon",
+               [](const BatchOptions& options) {
+                 return std::make_unique<cpu::CpuBatchAligner>(options);
+               });
+  registry.add("pim",
+               "synchronous PIM execution: scatter / kernel / gather on "
+               "the simulated UPMEM system",
+               [](const BatchOptions& options) {
+                 BatchOptions adjusted = options;
+                 adjusted.pim_pipeline = false;
+                 return std::make_unique<pim::PimBatchAligner>(adjusted);
+               });
+  registry.add("pim-pipelined",
+               "PIM with chunked scatter/kernel/gather overlap "
+               "(pipeline planner unless --chunks forces a count)",
+               [](const BatchOptions& options) {
+                 BatchOptions adjusted = options;
+                 adjusted.pim_pipeline = true;
+                 return std::make_unique<pim::PimBatchAligner>(adjusted);
+               });
+  registry.add("pim-packed",
+               "synchronous PIM with 2-bit packed host<->MRAM transfers",
+               [](const BatchOptions& options) {
+                 BatchOptions adjusted = options;
+                 adjusted.pim_pipeline = false;
+                 adjusted.pim_packed = true;
+                 return std::make_unique<pim::PimBatchAligner>(adjusted);
+               });
+  registry.add("hybrid",
+               "throughput-proportional CPU+PIM split, merged in input "
+               "order",
+               [](const BatchOptions& options) {
+                 return std::make_unique<HybridBatchAligner>(options);
+               });
+}
+
+}  // namespace pimwfa::align::detail

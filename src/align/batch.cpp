@@ -1,0 +1,16 @@
+#include "align/batch.hpp"
+
+#include "common/check.hpp"
+
+namespace pimwfa::align {
+
+void BatchOptions::validate() const {
+  penalties.validate();
+  PIMWFA_ARG_CHECK(pim_tasklets >= 1, "need at least one tasklet per DPU");
+  PIMWFA_ARG_CHECK(hybrid_cpu_fraction <= 1.0,
+                   "hybrid_cpu_fraction must be <= 1 (negative = calibrate)");
+  PIMWFA_ARG_CHECK(hybrid_calibration_pairs >= 1,
+                   "hybrid calibration needs at least one pair");
+}
+
+}  // namespace pimwfa::align

@@ -1,0 +1,108 @@
+#include "align/batch_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "align/registry.hpp"
+#include "common/check.hpp"
+#include "common/timer.hpp"
+
+namespace pimwfa::align {
+
+BatchEngine::BatchEngine(BatchEngineOptions options)
+    : BatchEngine(backend_registry().create(options.backend, options.batch),
+                  options.max_in_flight, options.workers) {
+  backend_virtual_pairs_ = options.batch.virtual_pairs;
+}
+
+BatchEngine::BatchEngine(std::unique_ptr<BatchAligner> backend,
+                         usize max_in_flight, usize workers)
+    : backend_(std::move(backend)) {
+  PIMWFA_ARG_CHECK(backend_ != nullptr, "engine needs a backend");
+  PIMWFA_ARG_CHECK(max_in_flight >= 1, "engine needs in-flight capacity");
+  if (workers > 0) workers_ = std::make_unique<ThreadPool>(workers);
+  dispatcher_ = std::make_unique<ThreadPool>(max_in_flight);
+}
+
+BatchEngine::~BatchEngine() = default;  // pool destructors drain the queues
+
+std::future<BatchResult> BatchEngine::submit(seq::ReadPairSet batch,
+                                             AlignmentScope scope) {
+  ++submitted_;
+  ++in_flight_;
+  // packaged_task is move-only; the shared_ptr wrapper makes the
+  // dispatcher task copyable (std::function requirement).
+  auto task = std::make_shared<std::packaged_task<BatchResult()>>(
+      [this, moved = std::move(batch), scope]() {
+        BatchResult result = backend_->run(moved, scope, workers_.get());
+        return result;
+      });
+  std::future<BatchResult> future = task->get_future();
+  dispatcher_->submit([this, task] {
+    (*task)();
+    --in_flight_;
+  });
+  return future;
+}
+
+BatchResult BatchEngine::run_sharded(const seq::ReadPairSet& batch,
+                                     AlignmentScope scope, usize shards) {
+  PIMWFA_ARG_CHECK(shards >= 1, "need at least one shard");
+  PIMWFA_ARG_CHECK(backend_virtual_pairs_ == 0,
+                   "run_sharded needs fully materialized batches; the "
+                   "backend was configured with virtual_pairs="
+                       << backend_virtual_pairs_);
+  WallTimer timer;
+  const std::vector<std::pair<usize, usize>> ranges =
+      ThreadPool::partition(batch.size(), shards);
+  std::vector<std::future<BatchResult>> inflight;
+  inflight.reserve(ranges.size());
+  for (const auto& [begin, end] : ranges) {
+    inflight.push_back(submit(batch.slice(begin, end), scope));
+  }
+
+  BatchResult out;
+  out.backend = backend_->name();
+  BatchTimings& t = out.timings;
+  out.results.reserve(batch.size());
+  // Input-order merge: shards are contiguous slices in submission order,
+  // and each shard's results are a prefix of its slice. A partially
+  // materialized shard (pim_simulate_dpus) ends the merged prefix there -
+  // appending later shards would misalign results with input indices.
+  bool contiguous = true;
+  for (usize shard_index = 0; shard_index < inflight.size(); ++shard_index) {
+    BatchResult shard = inflight[shard_index].get();
+    if (contiguous) {
+      out.results.insert(out.results.end(),
+                         std::make_move_iterator(shard.results.begin()),
+                         std::make_move_iterator(shard.results.end()));
+      const auto [begin, end] = ranges[shard_index];
+      if (shard.results.size() < end - begin) contiguous = false;
+    }
+    const BatchTimings& s = shard.timings;
+    t.modeled_seconds += s.modeled_seconds;
+    t.pairs += s.pairs;
+    t.cpu_wall_seconds += s.cpu_wall_seconds;
+    t.cpu_modeled_seconds += s.cpu_modeled_seconds;
+    t.cpu_pairs += s.cpu_pairs;
+    t.pim_modeled_seconds += s.pim_modeled_seconds;
+    t.scatter_seconds += s.scatter_seconds;
+    t.kernel_seconds += s.kernel_seconds;
+    t.gather_seconds += s.gather_seconds;
+    t.bytes_to_device += s.bytes_to_device;
+    t.bytes_from_device += s.bytes_from_device;
+    t.pim_pairs += s.pim_pairs;
+    t.pipeline_chunks = std::max(t.pipeline_chunks, s.pipeline_chunks);
+  }
+  t.materialized = out.results.size();
+  t.cpu_fraction = t.pairs > 0 ? static_cast<double>(t.cpu_pairs) /
+                                     static_cast<double>(t.pairs)
+                               : 0.0;
+  t.wall_seconds = timer.seconds();
+  return out;
+}
+
+void BatchEngine::wait_idle() { dispatcher_->wait_idle(); }
+
+}  // namespace pimwfa::align

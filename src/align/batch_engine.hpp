@@ -1,0 +1,90 @@
+// Asynchronous batch-submission front-end over any registered backend.
+//
+// A BatchEngine owns one backend instance plus two long-lived thread
+// pools: a dispatcher (one worker per in-flight batch) and a shared
+// worker pool handed to every BatchAligner::run call, so per-batch pool
+// construction - what the CPU baseline and the PIM simulator used to pay
+// on every align_batch - happens once per engine instead. submit() hands
+// a batch to the dispatcher and returns a future immediately; up to
+// max_in_flight batches execute concurrently against the (thread-safe)
+// backend. run_sharded() demonstrates the read-mapper-shaped consumer:
+// split one large batch into shards, keep them all in flight, and merge
+// the per-shard results back in input order.
+//
+// Lifecycle: construct (backend resolved through the registry by name) ->
+// submit()/run_sharded() freely from any thread -> wait_idle() or let the
+// destructor drain in-flight batches.
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+
+#include "align/batch.hpp"
+
+namespace pimwfa::align {
+
+struct BatchEngineOptions {
+  std::string backend = "cpu";  // registry key
+  BatchOptions batch;
+  // Concurrently executing batches (dispatcher workers).
+  usize max_in_flight = 2;
+  // Shared worker pool passed to every backend run (0 = none: backends
+  // fall back to their own per-call policy).
+  usize workers = 2;
+};
+
+class BatchEngine {
+ public:
+  // Resolves `options.backend` through backend_registry(); throws
+  // InvalidArgument for an unknown name.
+  explicit BatchEngine(BatchEngineOptions options);
+  // Injects a caller-built backend (tests, custom backends).
+  BatchEngine(std::unique_ptr<BatchAligner> backend, usize max_in_flight = 2,
+              usize workers = 2);
+  // Drains in-flight batches before tearing the pools down.
+  ~BatchEngine();
+
+  BatchEngine(const BatchEngine&) = delete;
+  BatchEngine& operator=(const BatchEngine&) = delete;
+
+  // Enqueue `batch` for asynchronous alignment; the future carries the
+  // backend's BatchResult (or its exception).
+  std::future<BatchResult> submit(seq::ReadPairSet batch,
+                                  AlignmentScope scope);
+
+  // Split `batch` into `shards` contiguous shards, submit them all (in
+  // flight together up to max_in_flight), and merge the results back in
+  // input order. Modeled times add up across shards - the shards occupy
+  // the same modeled hardware back to back - while wall time reflects the
+  // overlapped simulation. Requires fully materialized batches: throws
+  // InvalidArgument when the engine's backend was configured with
+  // virtual_pairs (a virtual batch cannot be cut into uniform shards).
+  BatchResult run_sharded(const seq::ReadPairSet& batch, AlignmentScope scope,
+                          usize shards);
+
+  // Block until every submitted batch has completed.
+  void wait_idle();
+
+  // Batches submitted but not yet completed.
+  usize in_flight() const noexcept { return in_flight_.load(); }
+  usize submitted() const noexcept { return submitted_.load(); }
+
+  const BatchAligner& backend() const noexcept { return *backend_; }
+  std::string backend_name() const { return backend_->name(); }
+
+ private:
+  std::unique_ptr<BatchAligner> backend_;
+  // Nonzero when the registry-constructed backend models virtual batches
+  // (unknowable for injected backends); run_sharded refuses those.
+  usize backend_virtual_pairs_ = 0;
+  // Declaration order doubles as teardown order: the dispatcher (whose
+  // tasks use the worker pool) must be destroyed before the workers.
+  std::unique_ptr<ThreadPool> workers_;
+  std::unique_ptr<ThreadPool> dispatcher_;
+  std::atomic<usize> in_flight_{0};
+  std::atomic<usize> submitted_{0};
+};
+
+}  // namespace pimwfa::align

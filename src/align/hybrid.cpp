@@ -1,0 +1,166 @@
+// Sits conceptually above the cpu/ and pim/ layers (see the layer note in
+// src/CMakeLists.txt): this is the one align/ component that composes the
+// concrete backends instead of defining vocabulary for them.
+#include "align/hybrid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+#include "cpu/cpu_batch.hpp"
+#include "cpu/scaling_model.hpp"
+#include "pim/host.hpp"
+
+namespace pimwfa::align {
+
+HybridBatchAligner::HybridBatchAligner(BatchOptions options)
+    : options_(std::move(options)) {
+  options_.validate();
+}
+
+HybridBatchAligner::Plan HybridBatchAligner::plan(const seq::ReadPairSet& batch,
+                                                  AlignmentScope scope,
+                                                  ThreadPool* pool) const {
+  Plan out;
+  const usize materialized = batch.size();
+  out.pairs = options_.virtual_pairs != 0
+                  ? std::max(options_.virtual_pairs, materialized)
+                  : materialized;
+  if (out.pairs == 0) return out;
+  PIMWFA_ARG_CHECK(materialized > 0,
+                   "hybrid calibration needs materialized pairs");
+
+  const double forced = options_.hybrid_cpu_fraction;
+  const cpu::CpuSystemModel cpu_system{};
+  const double n = static_cast<double>(out.pairs);
+
+  // --- CPU side: per-pair cost on one paper core + roofline projection --
+  if (forced != 0.0) {
+    double metadata_per_pair = 0;
+    if (options_.cpu_per_pair_seconds > 0) {
+      out.cpu_per_pair_seconds = options_.cpu_per_pair_seconds;
+    } else {
+      const usize sample_pairs =
+          std::min(materialized, options_.hybrid_calibration_pairs);
+      const seq::ReadPairSet sample = batch.slice(0, sample_pairs);
+      const cpu::CpuBatchAligner calibrator(
+          cpu::CpuBatchOptions{options_.penalties, 1});
+      const cpu::CpuBatchResult measured =
+          calibrator.align_batch(sample, scope);
+      const double per_pair_host =
+          measured.seconds / static_cast<double>(sample_pairs);
+      out.cpu_per_pair_seconds = per_pair_host * cpu_system.host_core_ratio;
+      metadata_per_pair = static_cast<double>(measured.work.allocated_bytes) /
+                          static_cast<double>(sample_pairs);
+    }
+    const u64 metadata_bytes = static_cast<u64>(metadata_per_pair * n);
+    out.cpu_traffic_bytes =
+        cpu::estimate_batch_traffic(out.pairs, metadata_bytes);
+    out.cpu_alone_seconds = cpu::project_batch_seconds(
+        cpu_system, out.cpu_per_pair_seconds * n, out.pairs, metadata_bytes,
+        options_.cpu_model_threads);
+  }
+
+  // --- PIM side: simulate one DPU's share, model the full system -------
+  // Only needed to *derive* the split; a forced fraction skips the probe
+  // (pim_alone_seconds then stays 0 in the plan and timings).
+  if (forced < 0) {
+    pim::PimOptions probe = pim::PimOptions::from(options_);
+    probe.simulate_dpus = 1;
+    probe.virtual_total_pairs = out.pairs;
+    const usize share0 = pim::PimBatchAligner::dpu_pair_range(
+                             out.pairs, probe.system.nr_dpus(), 0)
+                             .second;
+    PIMWFA_ARG_CHECK(materialized >= share0,
+                     "hybrid PIM probe needs the first DPU's share ("
+                         << share0 << " pairs) materialized");
+    pim::PimBatchAligner prober(probe);
+    out.pim_alone_seconds =
+        prober.align_batch(batch.slice(0, share0), scope, pool)
+            .timings.total_seconds();
+  }
+
+  // --- split proportional to modeled throughput -------------------------
+  if (forced >= 0) {
+    out.cpu_fraction = forced;
+  } else {
+    const double denom = out.cpu_alone_seconds + out.pim_alone_seconds;
+    out.cpu_fraction = denom > 0 ? out.pim_alone_seconds / denom : 0.0;
+  }
+  out.cpu_pairs = std::min(
+      out.pairs, static_cast<usize>(std::llround(out.cpu_fraction * n)));
+  out.pim_pairs = out.pairs - out.cpu_pairs;
+  out.cpu_fraction = static_cast<double>(out.cpu_pairs) / n;
+  return out;
+}
+
+BatchResult HybridBatchAligner::run(const seq::ReadPairSet& batch,
+                                    AlignmentScope scope, ThreadPool* pool) {
+  WallTimer timer;
+  BatchResult out;
+  out.backend = name();
+  const usize materialized = batch.size();
+  if (materialized == 0 && options_.virtual_pairs == 0) return out;
+
+  const Plan split = plan(batch, scope, pool);
+  BatchTimings& t = out.timings;
+  t.pairs = split.pairs;
+  t.cpu_pairs = split.cpu_pairs;
+  t.pim_pairs = split.pim_pairs;
+  t.cpu_fraction = split.cpu_fraction;
+  t.cpu_alone_seconds = split.cpu_alone_seconds;
+  t.pim_alone_seconds = split.pim_alone_seconds;
+
+  // --- PIM share: the virtual prefix [0, pim_pairs) ---------------------
+  usize pim_materialized = 0;
+  bool pim_complete = true;
+  if (split.pim_pairs > 0) {
+    pim_materialized = std::min(materialized, split.pim_pairs);
+    pim::PimOptions pim_options = pim::PimOptions::from(options_);
+    pim_options.virtual_total_pairs =
+        split.pim_pairs > pim_materialized ? split.pim_pairs : 0;
+    pim::PimBatchAligner pim_side(pim_options);
+    pim::PimBatchResult pim_result =
+        pim_side.align_batch(batch.slice(0, pim_materialized), scope, pool);
+    const pim::PimTimings& pt = pim_result.timings;
+    t.pim_modeled_seconds = pt.total_seconds();
+    t.scatter_seconds = pt.scatter_seconds;
+    t.kernel_seconds = pt.kernel_seconds;
+    t.gather_seconds = pt.gather_seconds;
+    t.bytes_to_device = pt.bytes_to_device;
+    t.bytes_from_device = pt.bytes_from_device;
+    t.pipeline_chunks = pt.chunks;
+    pim_complete = pim_result.results.size() == pim_materialized;
+    out.results = std::move(pim_result.results);
+  }
+
+  // --- CPU share: the virtual suffix [pim_pairs, pairs) -----------------
+  if (split.cpu_pairs > 0) {
+    // Modeled share time scales linearly out of the calibrated alone-time
+    // (the roofline is the max of two terms linear in the pair count).
+    t.cpu_modeled_seconds = split.cpu_alone_seconds *
+                            static_cast<double>(split.cpu_pairs) /
+                            static_cast<double>(split.pairs);
+    // Align the CPU share only when its results can extend the PIM
+    // side's contiguous prefix; a partially simulated PIM side would
+    // force them to be discarded anyway.
+    if (pim_complete && materialized > split.pim_pairs) {
+      const cpu::CpuBatchAligner cpu_side(
+          cpu::CpuBatchOptions::from(options_));
+      cpu::CpuBatchResult cpu_result = cpu_side.align_batch(
+          batch.slice(split.pim_pairs, materialized), scope, pool);
+      t.cpu_wall_seconds = cpu_result.seconds;
+      out.results.insert(out.results.end(),
+                         std::make_move_iterator(cpu_result.results.begin()),
+                         std::make_move_iterator(cpu_result.results.end()));
+    }
+  }
+
+  t.materialized = out.results.size();
+  t.modeled_seconds = std::max(t.cpu_modeled_seconds, t.pim_modeled_seconds);
+  t.wall_seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace pimwfa::align

@@ -1,0 +1,62 @@
+// Hybrid CPU+PIM batch dispatcher.
+//
+// The paper's Fig. 1 analysis leaves an obvious scenario on the table:
+// while the PIM system aligns a batch, the 56-thread host CPU sits idle
+// (and vice versa for the baseline). This backend splits every batch
+// between the two sides proportionally to their modeled throughputs -
+// calibrated per batch from the roofline ScalingModel (CPU) and a small
+// simulated PIM probe (PimTimings) - runs both shares, and merges the
+// results in input order. Both sides run the exact same WFA, so the
+// merged results are bit-identical to either backend alone; the modeled
+// end-to-end time is max(cpu share, pim share), which a
+// throughput-proportional split drives to
+// T_cpu * T_pim / (T_cpu + T_pim) <= min(T_cpu, T_pim).
+//
+// Split layout: the PIM side takes the virtual prefix [0, pim_pairs) and
+// the CPU side the suffix [pim_pairs, n). A prefix for the PIM side keeps
+// its virtual-batch machinery intact (materialized pairs must prefix the
+// virtual batch), so the hybrid composes with simulate_dpus /
+// virtual_pairs scaling as well as with the packed and pipelined PIM
+// variants.
+#pragma once
+
+#include "align/batch.hpp"
+
+namespace pimwfa::align {
+
+class HybridBatchAligner final : public BatchAligner {
+ public:
+  explicit HybridBatchAligner(BatchOptions options);
+
+  // The calibrated split and the modeled alone-times it derives from.
+  struct Plan {
+    usize pairs = 0;      // modeled batch size (virtual when configured)
+    usize cpu_pairs = 0;  // virtual suffix routed to the CPU
+    usize pim_pairs = 0;  // virtual prefix routed to the PIM side
+    double cpu_fraction = 0;
+    // Modeled whole-batch alone-times. Calibrated splits fill both; a
+    // forced hybrid_cpu_fraction skips the PIM probe (pim_alone_seconds
+    // stays 0) and, when forced to all-PIM, the CPU sample too.
+    double cpu_alone_seconds = 0;
+    double pim_alone_seconds = 0;
+    double cpu_per_pair_seconds = 0;  // calibrated paper-core s/pair
+    double cpu_traffic_bytes = 0;     // modeled DRAM traffic, whole batch
+  };
+
+  // Calibrate without running the batch: measures (or takes the
+  // configured override for) the CPU per-pair cost on a small sample and
+  // models the PIM side by simulating a single DPU's share.
+  Plan plan(const seq::ReadPairSet& batch, AlignmentScope scope,
+            ThreadPool* pool = nullptr) const;
+
+  BatchResult run(const seq::ReadPairSet& batch, AlignmentScope scope,
+                  ThreadPool* pool = nullptr) override;
+  std::string name() const override { return "hybrid"; }
+
+  const BatchOptions& options() const noexcept { return options_; }
+
+ private:
+  BatchOptions options_;
+};
+
+}  // namespace pimwfa::align

@@ -1,0 +1,75 @@
+#include "align/registry.hpp"
+
+#include "common/check.hpp"
+
+namespace pimwfa::align {
+
+void BackendRegistry::add(const std::string& name,
+                          const std::string& description,
+                          BackendFactory factory) {
+  PIMWFA_ARG_CHECK(!name.empty(), "backend name must be non-empty");
+  PIMWFA_ARG_CHECK(find(name) == nullptr,
+                   "backend '" << name << "' already registered");
+  PIMWFA_ARG_CHECK(factory != nullptr, "backend factory must be callable");
+  entries_.push_back({name, description, std::move(factory)});
+}
+
+const BackendRegistry::Entry* BackendRegistry::find(
+    const std::string& name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<BatchAligner> BackendRegistry::create(
+    const std::string& name, const BatchOptions& options) const {
+  const Entry* entry = find(name);
+  if (entry == nullptr) {
+    throw InvalidArgument("unknown backend '" + name + "' (registered: " +
+                          joined_names() + ")");
+  }
+  options.validate();
+  return entry->factory(options);
+}
+
+std::string BackendRegistry::joined_names() const {
+  std::string out;
+  for (const Entry& entry : entries_) {
+    if (!out.empty()) out += ", ";
+    out += entry.name;
+  }
+  return out;
+}
+
+bool BackendRegistry::contains(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) out.push_back(entry.name);
+  return out;
+}
+
+std::string BackendRegistry::describe() const {
+  std::string out;
+  for (const Entry& entry : entries_) {
+    out += "  " + entry.name;
+    if (entry.name.size() < 14) out.append(14 - entry.name.size(), ' ');
+    out += " " + entry.description + "\n";
+  }
+  return out;
+}
+
+BackendRegistry& backend_registry() {
+  static BackendRegistry& registry = *[] {
+    auto* r = new BackendRegistry();
+    detail::register_builtin_backends(*r);
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace pimwfa::align

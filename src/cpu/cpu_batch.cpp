@@ -1,12 +1,25 @@
 #include "cpu/cpu_batch.hpp"
 
+#include <algorithm>
 #include <mutex>
+#include <thread>
 
 #include "common/check.hpp"
 #include "common/timer.hpp"
+#include "cpu/scaling_model.hpp"
 #include "wfa/wfa_aligner.hpp"
 
 namespace pimwfa::cpu {
+
+CpuBatchOptions CpuBatchOptions::from(const align::BatchOptions& batch) {
+  CpuBatchOptions options;
+  options.penalties = batch.penalties;
+  options.threads =
+      batch.cpu_threads != 0
+          ? batch.cpu_threads
+          : std::max<usize>(std::thread::hardware_concurrency(), 1);
+  return options;
+}
 
 CpuBatchAligner::CpuBatchAligner(CpuBatchOptions options)
     : options_(options) {
@@ -14,8 +27,21 @@ CpuBatchAligner::CpuBatchAligner(CpuBatchOptions options)
   PIMWFA_ARG_CHECK(options_.threads >= 1, "need at least one thread");
 }
 
+CpuBatchAligner::CpuBatchAligner(const align::BatchOptions& batch)
+    : CpuBatchAligner(CpuBatchOptions::from(batch)) {
+  model_threads_ = batch.cpu_model_threads;
+  per_pair_seconds_override_ = batch.cpu_per_pair_seconds;
+  virtual_pairs_ = batch.virtual_pairs;
+}
+
 CpuBatchResult CpuBatchAligner::align_batch(const seq::ReadPairSet& batch,
                                             align::AlignmentScope scope) const {
+  return align_batch(batch, scope, nullptr);
+}
+
+CpuBatchResult CpuBatchAligner::align_batch(const seq::ReadPairSet& batch,
+                                            align::AlignmentScope scope,
+                                            ThreadPool* pool) const {
   CpuBatchResult out;
   out.results.resize(batch.size());
   std::mutex merge_mutex;
@@ -32,13 +58,66 @@ CpuBatchResult CpuBatchAligner::align_batch(const seq::ReadPairSet& batch,
   };
 
   WallTimer timer;
-  if (options_.threads == 1) {
+  if (pool != nullptr) {
+    pool->parallel_for(batch.size(), worker);
+  } else if (options_.threads == 1) {
     worker(0, batch.size());
   } else {
-    ThreadPool pool(options_.threads);
-    pool.parallel_for(batch.size(), worker);
+    ThreadPool local(options_.threads);
+    local.parallel_for(batch.size(), worker);
   }
   out.seconds = timer.seconds();
+  return out;
+}
+
+align::BatchResult CpuBatchAligner::run(const seq::ReadPairSet& batch,
+                                        align::AlignmentScope scope,
+                                        ThreadPool* pool) {
+  CpuBatchResult native = align_batch(batch, scope, pool);
+  const usize materialized = batch.size();
+  const usize pairs = virtual_pairs_ != 0
+                          ? std::max(virtual_pairs_, materialized)
+                          : materialized;
+  const double scale =
+      materialized > 0
+          ? static_cast<double>(pairs) / static_cast<double>(materialized)
+          : 0.0;
+
+  align::BatchResult out;
+  out.backend = name();
+  out.results = std::move(native.results);
+  align::BatchTimings& t = out.timings;
+  t.wall_seconds = native.seconds;
+  t.cpu_wall_seconds = native.seconds;
+  t.pairs = pairs;
+  t.materialized = materialized;
+  t.cpu_pairs = pairs;
+  t.cpu_fraction = 1.0;
+  if (materialized == 0) return out;
+
+  // Roofline projection onto the modeled server. Single-thread cost comes
+  // from the calibration override when given (deterministic, used by CI);
+  // otherwise the measured wall time is rescaled assuming the host worker
+  // threads scaled linearly - exact at threads == 1, the configuration
+  // the calibrating callers (fig1, hybrid) use.
+  const CpuSystemModel system{};
+  const usize threads_used =
+      pool != nullptr ? std::max<usize>(pool->size(), 1) : options_.threads;
+  const double t1_model =
+      per_pair_seconds_override_ > 0
+          ? per_pair_seconds_override_ * static_cast<double>(pairs)
+          : native.seconds *
+                static_cast<double>(std::min(threads_used, materialized)) *
+                scale * system.host_core_ratio;
+  const u64 metadata_bytes =
+      per_pair_seconds_override_ > 0
+          ? 0
+          : static_cast<u64>(
+                static_cast<double>(native.work.allocated_bytes) * scale);
+  t.modeled_seconds = project_batch_seconds(system, t1_model, pairs,
+                                            metadata_bytes, model_threads_);
+  t.cpu_modeled_seconds = t.modeled_seconds;
+  t.cpu_alone_seconds = t.modeled_seconds;
   return out;
 }
 

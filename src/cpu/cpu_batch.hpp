@@ -3,12 +3,14 @@
 // Each worker thread runs an independent WfaAligner over a static share of
 // the batch, exactly like the multi-threaded driver of WFA's benchmark
 // tool. Wall time is measured, not modeled; projecting the measurement to
-// the paper's 56-thread Xeon is ScalingModel's job.
+// the paper's 56-thread Xeon is ScalingModel's job (which is what the
+// unified BatchAligner::run interface reports as modeled_seconds).
 #pragma once
 
 #include <vector>
 
 #include "align/aligner.hpp"
+#include "align/batch.hpp"
 #include "common/thread_pool.hpp"
 #include "seq/dataset.hpp"
 #include "wfa/wavefront.hpp"
@@ -18,6 +20,9 @@ namespace pimwfa::cpu {
 struct CpuBatchOptions {
   align::Penalties penalties = align::Penalties::defaults();
   usize threads = 1;
+
+  // Translate the unified batch options (see align/batch.hpp).
+  static CpuBatchOptions from(const align::BatchOptions& batch);
 };
 
 struct CpuBatchResult {
@@ -27,17 +32,40 @@ struct CpuBatchResult {
   u64 allocator_high_water = 0; // max wavefront arena bytes over threads
 };
 
-class CpuBatchAligner {
+class CpuBatchAligner final : public align::BatchAligner {
  public:
   explicit CpuBatchAligner(CpuBatchOptions options);
+  // Construct from the unified options (registry factory path).
+  explicit CpuBatchAligner(const align::BatchOptions& batch);
 
+  // Native batch API. The ThreadPool overload reuses an external pool for
+  // the worker loops (one static share per pool worker, options().threads
+  // ignored) so long-lived drivers like the BatchEngine stop paying pool
+  // construction per batch; the two-argument form keeps the historical
+  // behaviour of spawning a pool per call when options().threads > 1.
   CpuBatchResult align_batch(const seq::ReadPairSet& batch,
                              align::AlignmentScope scope) const;
+  CpuBatchResult align_batch(const seq::ReadPairSet& batch,
+                             align::AlignmentScope scope,
+                             ThreadPool* pool) const;
+
+  // Unified interface: measures with the configured host threads and
+  // projects the measurement onto the modeled server (ScalingModel) for
+  // BatchTimings::modeled_seconds.
+  align::BatchResult run(const seq::ReadPairSet& batch,
+                         align::AlignmentScope scope,
+                         ThreadPool* pool = nullptr) override;
+  std::string name() const override { return "cpu"; }
 
   const CpuBatchOptions& options() const noexcept { return options_; }
 
  private:
   CpuBatchOptions options_;
+  // Unified-options fields consumed by run() (defaults when constructed
+  // from native CpuBatchOptions).
+  usize model_threads_ = 0;
+  double per_pair_seconds_override_ = 0;
+  usize virtual_pairs_ = 0;
 };
 
 }  // namespace pimwfa::cpu

@@ -88,4 +88,14 @@ struct TrafficModel {
 double estimate_batch_traffic(u64 pairs, u64 metadata_bytes,
                               const TrafficModel& model = {});
 
+// One-call roofline projection shared by everything that models a CPU
+// batch (the cpu backend's unified run(), the hybrid calibration):
+// modeled seconds for a `pairs`-pair batch given its modeled
+// single-thread time and wavefront metadata bytes, at `model_threads`
+// threads (0 = the machine's maximum). Linear in both roofline terms, so
+// a k-fraction share of the batch takes exactly k times this.
+double project_batch_seconds(const CpuSystemModel& system, double t1_seconds,
+                             u64 pairs, u64 metadata_bytes,
+                             usize model_threads);
+
 }  // namespace pimwfa::cpu

@@ -52,7 +52,7 @@ Fig1Result run_fig1(const Fig1Options& options, ThreadPool* pool) {
     const seq::ReadPairSet batch = seq::generate_dataset(gen);
 
     // --- CPU side: measure single-thread on the sample, project --------
-    cpu::CpuBatchAligner cpu_aligner({options.penalties, 1});
+    cpu::CpuBatchAligner cpu_aligner(cpu::CpuBatchOptions{options.penalties, 1});
     cpu::CpuBatchResult cpu_result;
     double best_seconds = 0;
     for (usize rep = 0; rep < std::max<usize>(options.cpu_repeats, 1); ++rep) {

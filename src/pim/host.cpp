@@ -6,6 +6,7 @@
 
 #include "common/bits.hpp"
 #include "common/check.hpp"
+#include "common/timer.hpp"
 #include "pim/dpu_wfa_kernel.hpp"
 #include "seq/packed.hpp"
 
@@ -343,6 +344,22 @@ PimBatchResult run_pipelined(const BatchRun& run,
 
 }  // namespace
 
+PimOptions PimOptions::from(const align::BatchOptions& batch) {
+  PimOptions options;
+  options.system = batch.pim_dpus == 0
+                       ? upmem::SystemConfig::paper()
+                       : upmem::SystemConfig::tiny(batch.pim_dpus);
+  options.nr_tasklets = batch.pim_tasklets;
+  options.penalties = batch.penalties;
+  options.packed_sequences = batch.pim_packed;
+  options.max_score = batch.pim_max_score;
+  options.simulate_dpus = batch.pim_simulate_dpus;
+  options.virtual_total_pairs = batch.virtual_pairs;
+  options.pipeline = batch.pim_pipeline;
+  options.pipeline_chunks = batch.pim_pipeline_chunks;
+  return options;
+}
+
 PimBatchAligner::PimBatchAligner(PimOptions options)
     : options_(std::move(options)) {
   options_.system.validate();
@@ -352,6 +369,41 @@ PimBatchAligner::PimBatchAligner(PimOptions options)
                    "tasklet count outside the DPU's range");
   PIMWFA_ARG_CHECK(options_.pipeline_max_chunks >= 1,
                    "pipeline_max_chunks must be at least 1");
+}
+
+PimBatchAligner::PimBatchAligner(const align::BatchOptions& batch)
+    : PimBatchAligner(PimOptions::from(batch)) {}
+
+std::string PimBatchAligner::name() const {
+  if (options_.pipeline) return "pim-pipelined";
+  if (options_.packed_sequences) return "pim-packed";
+  return "pim";
+}
+
+align::BatchResult PimBatchAligner::run(const seq::ReadPairSet& batch,
+                                        align::AlignmentScope scope,
+                                        ThreadPool* pool) {
+  WallTimer timer;
+  PimBatchResult native = align_batch(batch, scope, pool);
+  align::BatchResult out;
+  out.backend = name();
+  out.results = std::move(native.results);
+  const PimTimings& pt = native.timings;
+  align::BatchTimings& t = out.timings;
+  t.wall_seconds = timer.seconds();
+  t.modeled_seconds = pt.total_seconds();
+  t.pairs = pt.pairs;
+  t.materialized = out.results.size();
+  t.pim_modeled_seconds = t.modeled_seconds;
+  t.scatter_seconds = pt.scatter_seconds;
+  t.kernel_seconds = pt.kernel_seconds;
+  t.gather_seconds = pt.gather_seconds;
+  t.bytes_to_device = pt.bytes_to_device;
+  t.bytes_from_device = pt.bytes_from_device;
+  t.pim_pairs = pt.pairs;
+  t.pipeline_chunks = pt.chunks;
+  t.pim_alone_seconds = t.modeled_seconds;
+  return out;
 }
 
 std::pair<usize, usize> PimBatchAligner::dpu_pair_range(usize n, usize nr_dpus,

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "align/aligner.hpp"
+#include "align/batch.hpp"
 #include "common/thread_pool.hpp"
 #include "pim/cost_table.hpp"
 #include "pim/layout.hpp"
@@ -66,6 +67,9 @@ struct PimOptions {
   usize pipeline_chunks = 0;
   // Upper bound on the planner's chunk choice.
   usize pipeline_max_chunks = 64;
+
+  // Translate the unified batch options (see align/batch.hpp).
+  static PimOptions from(const align::BatchOptions& batch);
 };
 
 struct PimTimings {
@@ -113,17 +117,28 @@ struct PimBatchResult {
   PimTimings timings;
 };
 
-class PimBatchAligner {
+class PimBatchAligner final : public align::BatchAligner {
  public:
   explicit PimBatchAligner(PimOptions options);
+  // Construct from the unified options (registry factory path).
+  explicit PimBatchAligner(const align::BatchOptions& batch);
 
   // Align the batch on the simulated PIM system. `pool`, if given,
   // parallelizes the host-side simulation: independent DPUs in the
   // synchronous path, concurrent pipeline stages in pipelined mode (a
-  // simulator concern only; it does not affect modeled timing).
+  // simulator concern only; it does not affect modeled timing). Safe to
+  // call concurrently on distinct batches: each call simulates its own
+  // PimSystem.
   PimBatchResult align_batch(const seq::ReadPairSet& batch,
                              align::AlignmentScope scope,
                              ThreadPool* pool = nullptr);
+
+  // Unified interface: wraps align_batch and maps PimTimings onto the
+  // shared BatchTimings vocabulary.
+  align::BatchResult run(const seq::ReadPairSet& batch,
+                         align::AlignmentScope scope,
+                         ThreadPool* pool = nullptr) override;
+  std::string name() const override;
 
   const PimOptions& options() const noexcept { return options_; }
 

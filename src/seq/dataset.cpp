@@ -127,4 +127,16 @@ ReadPairSet ReadPairSet::sample_every(usize stride) const {
   return out;
 }
 
+ReadPairSet ReadPairSet::slice(usize begin, usize end) const {
+  end = std::min(end, pairs_.size());
+  begin = std::min(begin, end);
+  ReadPairSet out;
+  out.seed = seed;
+  out.error_rate = error_rate;
+  out.nominal_read_length = nominal_read_length;
+  out.reserve(end - begin);
+  for (usize i = begin; i < end; ++i) out.add(pairs_[i]);
+  return out;
+}
+
 }  // namespace pimwfa::seq

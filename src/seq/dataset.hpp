@@ -64,6 +64,11 @@ class ReadPairSet {
   // bench runs; preserves the score distribution of a uniform workload).
   ReadPairSet sample_every(usize stride) const;
 
+  // The contiguous sub-batch [begin, end) (clamped to the set's size).
+  // Used by the hybrid dispatcher and the engine's sharded submission to
+  // carve per-backend / per-shard work out of one batch.
+  ReadPairSet slice(usize begin, usize end) const;
+
   bool operator==(const ReadPairSet& other) const noexcept {
     return pairs_ == other.pairs_;
   }

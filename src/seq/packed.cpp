@@ -16,6 +16,7 @@ std::string PackedSequence::unpack() const {
 }
 
 void PackedSequence::pack_into(std::string_view sequence, u8* out) {
+  if (sequence.empty()) return;  // out may be null for the empty packing
   std::memset(out, 0, packed_bytes(sequence.size()));
   for (usize i = 0; i < sequence.size(); ++i) {
     const u8 code = encode_base(sequence[i]);

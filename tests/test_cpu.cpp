@@ -14,7 +14,7 @@ using align::Penalties;
 
 TEST(CpuBatch, SingleThreadMatchesDirectAligner) {
   const seq::ReadPairSet batch = seq::fig1_dataset(50, 0.04, 21);
-  CpuBatchAligner aligner({Penalties::defaults(), 1});
+  CpuBatchAligner aligner(CpuBatchOptions{Penalties::defaults(), 1});
   const CpuBatchResult result =
       aligner.align_batch(batch, AlignmentScope::kFull);
   ASSERT_EQ(result.results.size(), 50u);
@@ -28,8 +28,8 @@ TEST(CpuBatch, SingleThreadMatchesDirectAligner) {
 
 TEST(CpuBatch, MultiThreadMatchesSingleThread) {
   const seq::ReadPairSet batch = seq::fig1_dataset(80, 0.02, 22);
-  CpuBatchAligner one({Penalties::defaults(), 1});
-  CpuBatchAligner four({Penalties::defaults(), 4});
+  CpuBatchAligner one(CpuBatchOptions{Penalties::defaults(), 1});
+  CpuBatchAligner four(CpuBatchOptions{Penalties::defaults(), 4});
   const CpuBatchResult a = one.align_batch(batch, AlignmentScope::kFull);
   const CpuBatchResult b = four.align_batch(batch, AlignmentScope::kFull);
   EXPECT_EQ(a.results, b.results);
@@ -37,7 +37,7 @@ TEST(CpuBatch, MultiThreadMatchesSingleThread) {
 
 TEST(CpuBatch, CountersAndTimingPopulated) {
   const seq::ReadPairSet batch = seq::fig1_dataset(30, 0.02, 23);
-  CpuBatchAligner aligner({Penalties::defaults(), 2});
+  CpuBatchAligner aligner(CpuBatchOptions{Penalties::defaults(), 2});
   const CpuBatchResult result =
       aligner.align_batch(batch, AlignmentScope::kScoreOnly);
   EXPECT_EQ(result.work.alignments, 30u);
@@ -47,7 +47,7 @@ TEST(CpuBatch, CountersAndTimingPopulated) {
 }
 
 TEST(CpuBatch, EmptyBatch) {
-  CpuBatchAligner aligner({Penalties::defaults(), 2});
+  CpuBatchAligner aligner(CpuBatchOptions{Penalties::defaults(), 2});
   const CpuBatchResult result =
       aligner.align_batch(seq::ReadPairSet{}, AlignmentScope::kFull);
   EXPECT_TRUE(result.results.empty());

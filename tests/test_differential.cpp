@@ -20,10 +20,12 @@
 #include <string>
 #include <vector>
 
+#include "align/registry.hpp"
 #include "align/verify.hpp"
 #include "baselines/gotoh.hpp"
 #include "baselines/myers.hpp"
 #include "baselines/nw.hpp"
+#include "cpu/cpu_batch.hpp"
 #include "pim/host.hpp"
 #include "seq/generator.hpp"
 #include "test_util.hpp"
@@ -267,6 +269,83 @@ TEST_P(PimDifferential, BatchPathMatchesHostAndPackedIsBitIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, PimDifferential,
+    ::testing::ValuesIn(pimwfa::testing::diff_cross(
+        /*lengths=*/{64, 100},
+        /*error_rates=*/{0.02, 0.10},
+        /*penalty_sets=*/{Penalties::defaults(), Penalties{2, 12, 1}})),
+    [](const auto& info) { return info.param.name(); });
+
+// --- hybrid CPU+PIM dispatcher -------------------------------------------
+//
+// The hybrid backend splits a batch between the CPU baseline and the PIM
+// system and merges the results in input order. Both sides run the exact
+// same WFA, so the merged batch must be bit-identical (scores + CIGARs)
+// to the cpu and pim backends alone - for the calibrated split, for
+// forced splits (including the degenerate all-CPU / all-PIM ones), and
+// composed with the packed transfer format.
+
+class HybridDifferential : public ::testing::TestWithParam<DiffConfig> {};
+
+TEST_P(HybridDifferential, HybridIsBitIdenticalToCpuAndPim) {
+  const DiffConfig config = GetParam();
+  const seq::ReadPairSet batch =
+      pimwfa::testing::diff_batch(config, kPairsPerConfig);
+
+  align::BatchOptions options;
+  options.penalties = config.penalties;
+  options.pim_dpus = 4;
+  options.pim_tasklets = 8;
+  options.cpu_threads = 2;
+
+  align::BackendRegistry& registry = align::backend_registry();
+  const align::BatchResult cpu_result =
+      registry.create("cpu", options)->run(batch, AlignmentScope::kFull);
+  const align::BatchResult pim_result =
+      registry.create("pim", options)->run(batch, AlignmentScope::kFull);
+  ASSERT_EQ(cpu_result.results.size(), batch.size());
+  ASSERT_EQ(pim_result.results.size(), batch.size());
+
+  // cpu vs pim first: any divergence below is then attributable.
+  for (usize i = 0; i < batch.size(); ++i) {
+    ASSERT_EQ(cpu_result.results[i], pim_result.results[i])
+        << "cpu vs pim, " << pair_diag(config, i, batch[i]);
+  }
+
+  // Calibrated split plus forced splits covering both degenerate ends and
+  // an uneven interior point; every one must merge to the same batch.
+  for (const double fraction : {-1.0, 0.0, 0.3, 1.0}) {
+    align::BatchOptions hybrid_options = options;
+    hybrid_options.hybrid_cpu_fraction = fraction;
+    const align::BatchResult hybrid_result =
+        registry.create("hybrid", hybrid_options)
+            ->run(batch, AlignmentScope::kFull);
+    ASSERT_EQ(hybrid_result.results.size(), batch.size())
+        << config.name() << " fraction=" << fraction;
+    for (usize i = 0; i < batch.size(); ++i) {
+      ASSERT_EQ(hybrid_result.results[i], cpu_result.results[i])
+          << "hybrid(f=" << fraction << ") vs cpu, "
+          << pair_diag(config, i, batch[i]);
+    }
+    const align::BatchTimings& t = hybrid_result.timings;
+    ASSERT_EQ(t.cpu_pairs + t.pim_pairs, batch.size());
+  }
+
+  // Packed transfers compose with the hybrid split bit-identically.
+  align::BatchOptions packed_options = options;
+  packed_options.pim_packed = true;
+  packed_options.hybrid_cpu_fraction = 0.5;
+  const align::BatchResult packed_result =
+      registry.create("hybrid", packed_options)
+          ->run(batch, AlignmentScope::kFull);
+  ASSERT_EQ(packed_result.results.size(), batch.size());
+  for (usize i = 0; i < batch.size(); ++i) {
+    ASSERT_EQ(packed_result.results[i], pim_result.results[i])
+        << "hybrid+packed vs pim, " << pair_diag(config, i, batch[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HybridDifferential,
     ::testing::ValuesIn(pimwfa::testing::diff_cross(
         /*lengths=*/{64, 100},
         /*error_rates=*/{0.02, 0.10},

@@ -1,0 +1,445 @@
+// The unified batch execution layer: BatchAligner vocabulary, backend
+// registry, the hybrid CPU+PIM dispatcher's split mechanics, and the
+// asynchronous BatchEngine (multi-batch in-flight submission, input-order
+// sharded merge).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+
+#include "align/batch_engine.hpp"
+#include "align/hybrid.hpp"
+#include "align/registry.hpp"
+#include "cpu/cpu_batch.hpp"
+#include "pim/host.hpp"
+#include "seq/generator.hpp"
+#include "test_util.hpp"
+
+namespace pimwfa {
+namespace {
+
+using align::AlignmentScope;
+using align::BatchOptions;
+using align::BatchResult;
+
+seq::ReadPairSet small_batch(usize pairs = 96, u64 seed = 0xE46) {
+  seq::GeneratorConfig config;
+  config.pairs = pairs;
+  config.read_length = 64;
+  config.error_rate = 0.05;
+  config.seed = seed;
+  return seq::generate_dataset(config);
+}
+
+BatchOptions tiny_options() {
+  BatchOptions options;
+  options.pim_dpus = 4;
+  options.pim_tasklets = 8;
+  options.cpu_threads = 2;
+  return options;
+}
+
+// --- registry ------------------------------------------------------------
+
+TEST(BackendRegistry, BuiltinBackendsAreRegistered) {
+  align::BackendRegistry& registry = align::backend_registry();
+  for (const char* name :
+       {"cpu", "pim", "pim-pipelined", "pim-packed", "hybrid"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+  }
+  EXPECT_GE(registry.names().size(), 5u);
+  EXPECT_NE(registry.describe().find("hybrid"), std::string::npos);
+}
+
+TEST(BackendRegistry, UnknownBackendThrowsWithKnownNames) {
+  try {
+    align::backend_registry().create("gpu", BatchOptions{});
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    EXPECT_NE(std::string(error.what()).find("pim-pipelined"),
+              std::string::npos);
+  }
+}
+
+TEST(BackendRegistry, DuplicateRegistrationThrows) {
+  align::BackendRegistry registry;
+  auto factory = [](const BatchOptions& options) {
+    return std::make_unique<cpu::CpuBatchAligner>(options);
+  };
+  registry.add("custom", "test", factory);
+  EXPECT_TRUE(registry.contains("custom"));
+  EXPECT_THROW(registry.add("custom", "again", factory), InvalidArgument);
+}
+
+TEST(BackendRegistry, BackendNamesMatchTheirKeys) {
+  const seq::ReadPairSet batch = small_batch(24);
+  for (const std::string& key :
+       {std::string("cpu"), std::string("pim"), std::string("pim-pipelined"),
+        std::string("pim-packed"), std::string("hybrid")}) {
+    const auto backend =
+        align::backend_registry().create(key, tiny_options());
+    EXPECT_EQ(backend->name(), key);
+  }
+}
+
+// --- unified run() vs native APIs ----------------------------------------
+
+TEST(UnifiedRun, CpuBackendMatchesNativeBatchApi) {
+  const seq::ReadPairSet batch = small_batch();
+  const auto backend = align::backend_registry().create("cpu", tiny_options());
+  const BatchResult unified = backend->run(batch, AlignmentScope::kFull);
+
+  const cpu::CpuBatchAligner native(
+      cpu::CpuBatchOptions{align::Penalties::defaults(), 1});
+  const cpu::CpuBatchResult reference =
+      native.align_batch(batch, AlignmentScope::kFull);
+
+  ASSERT_EQ(unified.results.size(), batch.size());
+  for (usize i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(unified.results[i], reference.results[i]) << "pair " << i;
+  }
+  EXPECT_EQ(unified.backend, "cpu");
+  EXPECT_EQ(unified.timings.pairs, batch.size());
+  EXPECT_EQ(unified.timings.materialized, batch.size());
+  EXPECT_EQ(unified.timings.cpu_fraction, 1.0);
+  EXPECT_GT(unified.timings.modeled_seconds, 0.0);
+  EXPECT_GT(unified.timings.wall_seconds, 0.0);
+}
+
+TEST(UnifiedRun, PimBackendsMatchNativeAndEachOther) {
+  const seq::ReadPairSet batch = small_batch();
+  pim::PimOptions native_options;
+  native_options.system = upmem::SystemConfig::tiny(4);
+  native_options.nr_tasklets = 8;
+  pim::PimBatchAligner native(native_options);
+  const pim::PimBatchResult reference =
+      native.align_batch(batch, AlignmentScope::kFull);
+
+  for (const char* key : {"pim", "pim-packed", "pim-pipelined"}) {
+    const auto backend =
+        align::backend_registry().create(key, tiny_options());
+    const BatchResult unified = backend->run(batch, AlignmentScope::kFull);
+    ASSERT_EQ(unified.results.size(), batch.size()) << key;
+    for (usize i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(unified.results[i], reference.results[i])
+          << key << " pair " << i;
+    }
+    EXPECT_EQ(unified.timings.pim_pairs, batch.size()) << key;
+    EXPECT_EQ(unified.timings.cpu_fraction, 0.0) << key;
+    EXPECT_GT(unified.timings.modeled_seconds, 0.0) << key;
+    EXPECT_EQ(unified.timings.modeled_seconds,
+              unified.timings.pim_modeled_seconds)
+        << key;
+  }
+}
+
+// --- CpuBatchAligner external pool (engine-shared workers) ---------------
+
+TEST(CpuExternalPool, ExternalPoolMatchesInternalAndSingleThread) {
+  const seq::ReadPairSet batch = small_batch();
+  const cpu::CpuBatchAligner aligner(
+      cpu::CpuBatchOptions{align::Penalties::defaults(), 3});
+  const cpu::CpuBatchResult internal =
+      aligner.align_batch(batch, AlignmentScope::kFull);
+
+  ThreadPool pool(3);
+  const cpu::CpuBatchResult external =
+      aligner.align_batch(batch, AlignmentScope::kFull, &pool);
+  // The pool can be reused across calls (the point of the overload).
+  const cpu::CpuBatchResult again =
+      aligner.align_batch(batch, AlignmentScope::kFull, &pool);
+
+  ASSERT_EQ(external.results.size(), batch.size());
+  for (usize i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(external.results[i], internal.results[i]) << "pair " << i;
+    EXPECT_EQ(again.results[i], internal.results[i]) << "pair " << i;
+  }
+  // Work counters are thread-partition-independent aggregates.
+  EXPECT_EQ(external.work.computed_cells, internal.work.computed_cells);
+}
+
+// --- hybrid split mechanics ----------------------------------------------
+
+TEST(Hybrid, ForcedFractionsDegenerateToPureBackends) {
+  const seq::ReadPairSet batch = small_batch();
+
+  BatchOptions all_pim = tiny_options();
+  all_pim.hybrid_cpu_fraction = 0.0;
+  align::HybridBatchAligner pim_only(all_pim);
+  const BatchResult pim_result = pim_only.run(batch, AlignmentScope::kFull);
+  EXPECT_EQ(pim_result.timings.pim_pairs, batch.size());
+  EXPECT_EQ(pim_result.timings.cpu_pairs, 0u);
+  EXPECT_EQ(pim_result.timings.cpu_modeled_seconds, 0.0);
+
+  BatchOptions all_cpu = tiny_options();
+  all_cpu.hybrid_cpu_fraction = 1.0;
+  align::HybridBatchAligner cpu_only(all_cpu);
+  const BatchResult cpu_result = cpu_only.run(batch, AlignmentScope::kFull);
+  EXPECT_EQ(cpu_result.timings.cpu_pairs, batch.size());
+  EXPECT_EQ(cpu_result.timings.pim_pairs, 0u);
+  EXPECT_EQ(cpu_result.timings.pim_modeled_seconds, 0.0);
+
+  ASSERT_EQ(pim_result.results.size(), batch.size());
+  ASSERT_EQ(cpu_result.results.size(), batch.size());
+  for (usize i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(pim_result.results[i], cpu_result.results[i]) << "pair " << i;
+  }
+}
+
+TEST(Hybrid, CalibratedSplitIsConsistentAndCompleteOnTinySystems) {
+  const seq::ReadPairSet batch = small_batch(120);
+  BatchOptions options = tiny_options();
+  align::HybridBatchAligner hybrid(options);
+  const align::HybridBatchAligner::Plan plan =
+      hybrid.plan(batch, AlignmentScope::kFull);
+  EXPECT_EQ(plan.pairs, batch.size());
+  EXPECT_EQ(plan.cpu_pairs + plan.pim_pairs, plan.pairs);
+  EXPECT_GT(plan.cpu_alone_seconds, 0.0);
+  EXPECT_GT(plan.pim_alone_seconds, 0.0);
+  EXPECT_GT(plan.cpu_per_pair_seconds, 0.0);
+
+  const BatchResult result = hybrid.run(batch, AlignmentScope::kFull);
+  ASSERT_EQ(result.results.size(), batch.size());
+  const align::BatchTimings& t = result.timings;
+  EXPECT_EQ(t.cpu_pairs + t.pim_pairs, batch.size());
+  EXPECT_DOUBLE_EQ(
+      t.modeled_seconds,
+      std::max(t.cpu_modeled_seconds, t.pim_modeled_seconds));
+}
+
+// The acceptance-criteria configuration: paper-shaped and transfer-bound
+// (full 2560-DPU system, virtual batch, E=2% 100bp full alignment), with
+// a deterministic CPU calibration override so the split does not depend
+// on host speed. The hybrid's modeled end-to-end time must beat both
+// sides alone.
+TEST(Hybrid, PaperShapeModeledTimeBeatsBothBackendsAlone) {
+  constexpr usize kSimulatedDpus = 2;
+  constexpr usize kMaterialized = 200;
+  const seq::ReadPairSet batch = small_batch(kMaterialized, 0x7A9E);
+
+  BatchOptions options;
+  options.pim_dpus = 0;  // the paper's 2560-DPU system
+  options.pim_tasklets = 24;
+  options.pim_simulate_dpus = kSimulatedDpus;
+  options.virtual_pairs = 2560 * (kMaterialized / kSimulatedDpus);
+  // ~2x the PIM total on this workload: comfortably transfer-bound, and
+  // deterministic (no host measurement).
+  options.cpu_per_pair_seconds = 5e-6;
+
+  align::HybridBatchAligner hybrid(options);
+  const align::HybridBatchAligner::Plan plan =
+      hybrid.plan(batch, AlignmentScope::kFull);
+  ASSERT_GT(plan.cpu_pairs, 0u);
+  ASSERT_GT(plan.pim_pairs, 0u);
+
+  const BatchResult result = hybrid.run(batch, AlignmentScope::kFull);
+  const align::BatchTimings& t = result.timings;
+  const double best_alone =
+      std::min(t.cpu_alone_seconds, t.pim_alone_seconds);
+  EXPECT_GT(t.modeled_seconds, 0.0);
+  EXPECT_LT(t.modeled_seconds, best_alone)
+      << "hybrid " << t.modeled_seconds << "s vs cpu " << t.cpu_alone_seconds
+      << "s / pim " << t.pim_alone_seconds << "s";
+
+  // The materialized prefix (the simulated DPUs' share of the PIM side)
+  // must be bit-identical to the pure PIM backend on the same prefix.
+  BatchOptions pim_options = options;
+  pim_options.virtual_pairs = plan.pim_pairs;
+  const auto pim_alone =
+      align::backend_registry().create("pim", pim_options);
+  const BatchResult reference =
+      pim_alone->run(batch.slice(0, std::min(batch.size(), plan.pim_pairs)),
+                     AlignmentScope::kFull);
+  ASSERT_GT(result.results.size(), 0u);
+  ASSERT_LE(result.results.size(), reference.results.size());
+  for (usize i = 0; i < result.results.size(); ++i) {
+    EXPECT_EQ(result.results[i], reference.results[i]) << "pair " << i;
+  }
+}
+
+// --- BatchEngine ---------------------------------------------------------
+
+// Backend test double that blocks until `expected` batches are running at
+// once: if the engine serialized submissions the barrier would never
+// fill and the test would hang (and time out).
+class BarrierBackend final : public align::BatchAligner {
+ public:
+  explicit BarrierBackend(usize expected) : expected_(expected) {}
+
+  BatchResult run(const seq::ReadPairSet& batch, align::AlignmentScope,
+                  ThreadPool*) override {
+    {
+      std::unique_lock lock(mutex_);
+      ++running_;
+      cv_.notify_all();
+      cv_.wait(lock, [this] { return running_ >= expected_; });
+    }
+    BatchResult out;
+    out.backend = name();
+    out.results.resize(batch.size());
+    for (usize i = 0; i < batch.size(); ++i) {
+      out.results[i].score = static_cast<i64>(batch[i].pattern.size());
+    }
+    out.timings.pairs = batch.size();
+    out.timings.materialized = batch.size();
+    return out;
+  }
+  std::string name() const override { return "barrier"; }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  usize running_ = 0;
+  const usize expected_;
+};
+
+TEST(BatchEngine, KeepsMultipleBatchesInFlightConcurrently) {
+  constexpr usize kBatches = 3;
+  align::BatchEngine engine(std::make_unique<BarrierBackend>(kBatches),
+                            /*max_in_flight=*/kBatches, /*workers=*/0);
+  std::vector<std::future<BatchResult>> futures;
+  std::vector<usize> sizes = {5, 9, 13};
+  for (const usize n : sizes) {
+    seq::ReadPairSet batch;
+    for (usize i = 0; i < n; ++i) {
+      batch.add({std::string(n, 'A'), std::string(n, 'A')});
+    }
+    futures.push_back(engine.submit(std::move(batch),
+                                    AlignmentScope::kScoreOnly));
+  }
+  EXPECT_EQ(engine.submitted(), kBatches);
+  for (usize b = 0; b < kBatches; ++b) {
+    const BatchResult result = futures[b].get();
+    ASSERT_EQ(result.results.size(), sizes[b]);
+    for (const auto& r : result.results) {
+      EXPECT_EQ(r.score, static_cast<i64>(sizes[b]));
+    }
+  }
+  engine.wait_idle();
+  EXPECT_EQ(engine.in_flight(), 0u);
+}
+
+TEST(BatchEngine, SubmitViaRegistryBackendReturnsCorrectResults) {
+  align::BatchEngineOptions options;
+  options.backend = "cpu";
+  options.batch = tiny_options();
+  options.max_in_flight = 2;
+  options.workers = 2;
+  align::BatchEngine engine(options);
+  EXPECT_EQ(engine.backend_name(), "cpu");
+
+  const seq::ReadPairSet a = small_batch(40, 0xAA);
+  const seq::ReadPairSet b = small_batch(60, 0xBB);
+  auto fa = engine.submit(a, AlignmentScope::kFull);
+  auto fb = engine.submit(b, AlignmentScope::kFull);
+
+  const cpu::CpuBatchAligner reference(
+      cpu::CpuBatchOptions{align::Penalties::defaults(), 1});
+  const auto ra = reference.align_batch(a, AlignmentScope::kFull);
+  const auto rb = reference.align_batch(b, AlignmentScope::kFull);
+
+  const BatchResult got_a = fa.get();
+  const BatchResult got_b = fb.get();
+  ASSERT_EQ(got_a.results.size(), a.size());
+  ASSERT_EQ(got_b.results.size(), b.size());
+  for (usize i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(got_a.results[i], ra.results[i]) << "batch a pair " << i;
+  }
+  for (usize i = 0; i < b.size(); ++i) {
+    EXPECT_EQ(got_b.results[i], rb.results[i]) << "batch b pair " << i;
+  }
+}
+
+TEST(BatchEngine, RunShardedMergesInInputOrder) {
+  const seq::ReadPairSet batch = small_batch(101, 0xCC);
+  align::BatchEngineOptions options;
+  options.backend = "pim";
+  options.batch = tiny_options();
+  options.max_in_flight = 3;
+  options.workers = 2;
+  align::BatchEngine engine(options);
+
+  const BatchResult sharded =
+      engine.run_sharded(batch, AlignmentScope::kFull, /*shards=*/5);
+
+  pim::PimOptions reference_options;
+  reference_options.system = upmem::SystemConfig::tiny(4);
+  reference_options.nr_tasklets = 8;
+  pim::PimBatchAligner reference(reference_options);
+  const pim::PimBatchResult expected =
+      reference.align_batch(batch, AlignmentScope::kFull);
+
+  ASSERT_EQ(sharded.results.size(), batch.size());
+  for (usize i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(sharded.results[i], expected.results[i]) << "pair " << i;
+  }
+  EXPECT_EQ(sharded.timings.pairs, batch.size());
+  EXPECT_EQ(sharded.timings.materialized, batch.size());
+  EXPECT_GT(sharded.timings.modeled_seconds, 0.0);
+}
+
+TEST(BatchEngine, RunShardedTruncatesAtFirstPartiallyMaterializedShard) {
+  // A partially simulated PIM backend materializes only a prefix of each
+  // shard; the merge must stop at the first gap instead of concatenating
+  // misaligned results.
+  const seq::ReadPairSet batch = small_batch(80, 0xDD);
+  align::BatchEngineOptions options;
+  options.backend = "pim";
+  options.batch = tiny_options();
+  options.batch.pim_simulate_dpus = 2;  // of 4 DPUs: half of each shard
+  align::BatchEngine engine(options);
+
+  const BatchResult sharded =
+      engine.run_sharded(batch, AlignmentScope::kFull, /*shards=*/4);
+  ASSERT_GT(sharded.results.size(), 0u);
+  ASSERT_LT(sharded.results.size(), batch.size());
+  EXPECT_EQ(sharded.timings.materialized, sharded.results.size());
+
+  // Whatever prefix is reported must be aligned with the input indices.
+  pim::PimOptions reference_options;
+  reference_options.system = upmem::SystemConfig::tiny(4);
+  reference_options.nr_tasklets = 8;
+  pim::PimBatchAligner reference(reference_options);
+  const pim::PimBatchResult expected =
+      reference.align_batch(batch, AlignmentScope::kFull);
+  for (usize i = 0; i < sharded.results.size(); ++i) {
+    EXPECT_EQ(sharded.results[i], expected.results[i]) << "pair " << i;
+  }
+}
+
+TEST(BatchEngine, BackendExceptionsPropagateThroughTheFuture) {
+  class ThrowingBackend final : public align::BatchAligner {
+   public:
+    BatchResult run(const seq::ReadPairSet&, align::AlignmentScope,
+                    ThreadPool*) override {
+      throw InvalidArgument("boom");
+    }
+    std::string name() const override { return "throwing"; }
+  };
+  align::BatchEngine engine(std::make_unique<ThrowingBackend>(), 1, 0);
+  auto future = engine.submit(small_batch(4), AlignmentScope::kScoreOnly);
+  EXPECT_THROW(future.get(), InvalidArgument);
+  engine.wait_idle();
+  EXPECT_EQ(engine.in_flight(), 0u);
+}
+
+// --- options validation ---------------------------------------------------
+
+TEST(BatchOptions, ValidateRejectsBadFields) {
+  BatchOptions options;
+  options.hybrid_cpu_fraction = 1.5;
+  EXPECT_THROW(options.validate(), InvalidArgument);
+  options = BatchOptions{};
+  options.pim_tasklets = 0;
+  EXPECT_THROW(options.validate(), InvalidArgument);
+  options = BatchOptions{};
+  options.penalties.mismatch = 0;
+  EXPECT_THROW(options.validate(), InvalidArgument);
+  EXPECT_NO_THROW(BatchOptions{}.validate());
+}
+
+}  // namespace
+}  // namespace pimwfa

@@ -1,14 +1,15 @@
 #!/usr/bin/env python3
 """Gate CI on benchmark regressions.
 
-Compares metrics from a pimwfa-bench-v1 JSON report (bench/* --json=...)
-against checked-in baseline numbers and fails when a gated metric regresses
-by more than the allowed fraction. Only modeled metrics belong in the
-baseline: they are deterministic for a given seed and configuration, so a
-regression is a code change, not runner noise.
+Compares metrics from one or more pimwfa-bench-v1 JSON reports
+(bench/* --json=...) against checked-in baseline numbers and fails when a
+gated metric regresses by more than the allowed fraction. Only modeled
+metrics belong in the baseline: they are deterministic for a given seed
+and configuration, so a regression is a code change, not runner noise.
 
 Usage:
   tools/check_perf.py --report BENCH_pipeline.json \
+      [--report BENCH_hybrid.json ...] \
       --baseline ci/perf_baseline.json [--max-regress 0.25]
 
 Baseline schema (ci/perf_baseline.json):
@@ -23,23 +24,13 @@ import json
 import sys
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--report", required=True,
-                        help="BenchReport JSON emitted by a bench binary")
-    parser.add_argument("--baseline", required=True,
-                        help="checked-in baseline JSON")
-    parser.add_argument("--max-regress", type=float, default=0.25,
-                        help="allowed fractional regression (default 0.25)")
-    args = parser.parse_args()
-
-    with open(args.report) as handle:
+def check_report(path: str, baselines: dict, max_regress: float) -> int:
+    """Gates one report; returns 0 (ok), 1 (regressed) or 2 (bad input)."""
+    with open(path) as handle:
         report = json.load(handle)
-    with open(args.baseline) as handle:
-        baselines = json.load(handle)
 
     if report.get("schema") != "pimwfa-bench-v1":
-        print(f"check_perf: {args.report} is not a pimwfa-bench-v1 report",
+        print(f"check_perf: {path} is not a pimwfa-bench-v1 report",
               file=sys.stderr)
         return 2
 
@@ -58,23 +49,43 @@ def main() -> int:
             failures.append(f"{name}: missing from report")
             continue
         actual = entry["value"]
-        floor = expected * (1.0 - args.max_regress)
+        floor = expected * (1.0 - max_regress)
         status = "OK" if actual >= floor else "REGRESSED"
         print(f"  {bench}/{name}: {actual:.4f} vs baseline "
               f"{expected:.4f} (floor {floor:.4f}) {status}")
         if actual < floor:
             failures.append(
                 f"{name}: {actual:.4f} < {floor:.4f} "
-                f"(baseline {expected:.4f} - {args.max_regress:.0%})")
+                f"(baseline {expected:.4f} - {max_regress:.0%})")
 
     if failures:
         print(f"check_perf: {bench} regressed:", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    print(f"check_perf: {bench} within {args.max_regress:.0%} of baseline "
+    print(f"check_perf: {bench} within {max_regress:.0%} of baseline "
           f"({len(gated)} gated metric{'s' if len(gated) != 1 else ''})")
     return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--report", required=True, action="append",
+                        help="BenchReport JSON emitted by a bench binary "
+                             "(repeatable)")
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in baseline JSON")
+    parser.add_argument("--max-regress", type=float, default=0.25,
+                        help="allowed fractional regression (default 0.25)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as handle:
+        baselines = json.load(handle)
+
+    worst = 0
+    for path in args.report:
+        worst = max(worst, check_report(path, baselines, args.max_regress))
+    return worst
 
 
 if __name__ == "__main__":
