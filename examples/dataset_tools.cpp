@@ -16,6 +16,7 @@
 #include "common/strings.hpp"
 #include "seq/fasta.hpp"
 #include "seq/generator.hpp"
+#include "seq/view.hpp"
 
 namespace {
 
@@ -112,7 +113,9 @@ int main(int argc, char** argv) {
       const seq::ReadPairSet set = load_any(cli.positional()[1]);
       const auto backend =
           align::backend_registry().create(flags.backend, flags.options);
-      const align::BatchResult result = backend->run(set, flags.scope());
+      // Backends take a non-owning view; `set` stays alive for the call.
+      const align::BatchResult result =
+          backend->run(seq::ReadPairSpan(set), flags.scope());
       RunningStats scores;
       for (const align::AlignmentResult& r : result.results) {
         scores.add(static_cast<double>(r.score));

@@ -14,6 +14,7 @@
 #include "baselines/gotoh.hpp"
 #include "common/strings.hpp"
 #include "seq/generator.hpp"
+#include "seq/view.hpp"
 #include "wfa/wfa_aligner.hpp"
 
 int main(int argc, char** argv) {
@@ -90,8 +91,12 @@ int main(int argc, char** argv) {
 
   const auto backend =
       align::backend_registry().create(flags.backend, flags.options);
+  // Backends take a non-owning seq::ReadPairSpan view of the batch (an
+  // owning ReadPairSet converts implicitly): sub-batches - the hybrid
+  // split, engine shards, calibration samples - are carved in O(1)
+  // without copying a base.
   const align::BatchResult batch_result =
-      backend->run(batch, flags.scope(), nullptr);
+      backend->run(seq::ReadPairSpan(batch), flags.scope(), nullptr);
   const align::BatchTimings& t = batch_result.timings;
   std::cout << "modeled : " << format_seconds(t.modeled_seconds) << " ("
             << with_commas(static_cast<u64>(t.throughput()))

@@ -19,6 +19,7 @@
 #include "common/timer.hpp"
 #include "seq/alphabet.hpp"
 #include "seq/generator.hpp"
+#include "seq/view.hpp"
 
 namespace {
 
@@ -113,11 +114,12 @@ int main(int argc, char** argv) {
             << " candidate windows for " << with_commas(nr_reads)
             << " reads (" << format_seconds(timer.seconds()) << ")\n";
 
-  // 4. Verify all candidates with WFA as one batch on the chosen backend.
+  // 4. Verify all candidates with WFA as one batch on the chosen backend
+  //    (handed over as a zero-copy view of the candidate set).
   const auto backend =
       align::backend_registry().create(flags.backend, flags.options);
   const align::BatchResult batch =
-      backend->run(candidates, align::AlignmentScope::kFull);
+      backend->run(seq::ReadPairSpan(candidates), align::AlignmentScope::kFull);
   std::cout << "aligned on backend '" << batch.backend << "': "
             << format_seconds(batch.timings.modeled_seconds)
             << " modeled (kernel "

@@ -17,6 +17,7 @@
 #include "align/result.hpp"
 #include "common/thread_pool.hpp"
 #include "seq/dataset.hpp"
+#include "seq/view.hpp"
 
 namespace pimwfa::align {
 
@@ -101,6 +102,12 @@ struct BatchTimings {
   usize pim_pairs = 0;       // share of `pairs` routed to the PIM side
   usize pipeline_chunks = 0; // > 1 when the PIM side ran pipelined
 
+  // Bases deep-copied on this run's thread to carve sub-batches (hybrid
+  // split, calibration samples, sharded submission). Zero since the batch
+  // stack moved to seq::ReadPairSpan views; the CI perf gate pins it there
+  // so the O(total bases) slice copies cannot silently return.
+  u64 bases_copied = 0;
+
   // Hybrid split: fraction of `pairs` on the CPU (1 for the cpu backend,
   // 0 for the pim backends).
   double cpu_fraction = 0;
@@ -134,10 +141,13 @@ class BatchAligner {
  public:
   virtual ~BatchAligner() = default;
 
-  // Align every pair of `batch` and report unified timings. `pool`, if
-  // given, parallelizes host-side work (CPU worker threads, PIM
-  // simulation); it never changes results or modeled timings.
-  virtual BatchResult run(const seq::ReadPairSet& batch, AlignmentScope scope,
+  // Align every pair of `batch` and report unified timings. The batch is
+  // a non-owning view: the caller's pair storage must stay alive (and
+  // unmodified) for the duration of the call; a ReadPairSet converts
+  // implicitly. `pool`, if given, parallelizes host-side work (CPU worker
+  // threads, PIM simulation); it never changes results or modeled
+  // timings.
+  virtual BatchResult run(seq::ReadPairSpan batch, AlignmentScope scope,
                           ThreadPool* pool = nullptr) = 0;
 
   // Registry key / report name ("cpu", "pim", "hybrid", ...).

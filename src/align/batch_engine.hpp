@@ -49,19 +49,35 @@ class BatchEngine {
   BatchEngine(const BatchEngine&) = delete;
   BatchEngine& operator=(const BatchEngine&) = delete;
 
-  // Enqueue `batch` for asynchronous alignment; the future carries the
-  // backend's BatchResult (or its exception).
-  std::future<BatchResult> submit(seq::ReadPairSet batch,
+  // Enqueue a batch view for asynchronous alignment; the future carries
+  // the backend's BatchResult (or its exception). Zero-copy: the caller's
+  // pair storage must stay alive and unmodified until the future
+  // resolves. Because that borrow outlives the call, it must be explicit:
+  // an owning lvalue set does not convert silently (see the deleted
+  // overload) - write submit(seq::ReadPairSpan(set), ...) to borrow, or
+  // submit(std::move(set), ...) to hand over ownership.
+  std::future<BatchResult> submit(seq::ReadPairSpan batch,
                                   AlignmentScope scope);
+  // Owning overload: moves the set into the in-flight task (no base is
+  // copied), so the caller may drop its handle immediately.
+  std::future<BatchResult> submit(seq::ReadPairSet&& batch,
+                                  AlignmentScope scope);
+  // Deleted: an lvalue ReadPairSet would silently become a borrow that
+  // must outlive the future - too easy to dangle. Opt in explicitly with
+  // ReadPairSpan(set) or hand the set over with std::move(set).
+  std::future<BatchResult> submit(const seq::ReadPairSet& batch,
+                                  AlignmentScope scope) = delete;
 
-  // Split `batch` into `shards` contiguous shards, submit them all (in
-  // flight together up to max_in_flight), and merge the results back in
-  // input order. Modeled times add up across shards - the shards occupy
-  // the same modeled hardware back to back - while wall time reflects the
-  // overlapped simulation. Requires fully materialized batches: throws
-  // InvalidArgument when the engine's backend was configured with
-  // virtual_pairs (a virtual batch cannot be cut into uniform shards).
-  BatchResult run_sharded(const seq::ReadPairSet& batch, AlignmentScope scope,
+  // Split `batch` into `shards` contiguous sub-views (O(1) each - the
+  // parent storage is borrowed until the call returns), submit them all
+  // (in flight together up to max_in_flight), and merge the results back
+  // in input order. Modeled times add up across shards - the shards
+  // occupy the same modeled hardware back to back - while wall time
+  // reflects the overlapped simulation. Requires fully materialized
+  // batches: throws InvalidArgument when the engine's backend was
+  // configured with virtual_pairs (a virtual batch cannot be cut into
+  // uniform shards).
+  BatchResult run_sharded(seq::ReadPairSpan batch, AlignmentScope scope,
                           usize shards);
 
   // Block until every submitted batch has completed.

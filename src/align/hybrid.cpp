@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.hpp"
 #include "common/timer.hpp"
@@ -19,7 +20,71 @@ HybridBatchAligner::HybridBatchAligner(BatchOptions options)
   options_.validate();
 }
 
-HybridBatchAligner::Plan HybridBatchAligner::plan(const seq::ReadPairSet& batch,
+void HybridBatchAligner::set_options(BatchOptions options) {
+  options.validate();
+  std::lock_guard lock(cache_mutex_);
+  options_ = std::move(options);
+  cache_.clear();
+  calibrations_.store(0, std::memory_order_relaxed);
+}
+
+HybridBatchAligner::Calibration HybridBatchAligner::calibrate(
+    seq::ReadPairSpan batch, AlignmentScope scope, ThreadPool* pool,
+    usize pairs) const {
+  Calibration out;
+  const usize materialized = batch.size();
+  const double forced = options_.hybrid_cpu_fraction;
+  const cpu::CpuSystemModel cpu_system{};
+  const double n = static_cast<double>(pairs);
+
+  // --- CPU side: per-pair cost on one paper core + roofline projection --
+  if (forced != 0.0) {
+    double metadata_per_pair = 0;
+    if (options_.cpu_per_pair_seconds > 0) {
+      out.cpu_per_pair_seconds = options_.cpu_per_pair_seconds;
+    } else {
+      const usize sample_pairs =
+          std::min(materialized, options_.hybrid_calibration_pairs);
+      const cpu::CpuBatchAligner calibrator(
+          cpu::CpuBatchOptions{options_.penalties, 1});
+      const cpu::CpuBatchResult measured =
+          calibrator.align_batch(batch.first(sample_pairs), scope);
+      const double per_pair_host =
+          measured.seconds / static_cast<double>(sample_pairs);
+      out.cpu_per_pair_seconds = per_pair_host * cpu_system.host_core_ratio;
+      metadata_per_pair = static_cast<double>(measured.work.allocated_bytes) /
+                          static_cast<double>(sample_pairs);
+    }
+    const u64 metadata_bytes = static_cast<u64>(metadata_per_pair * n);
+    out.cpu_traffic_bytes =
+        cpu::estimate_batch_traffic(pairs, metadata_bytes);
+    out.cpu_alone_seconds = cpu::project_batch_seconds(
+        cpu_system, out.cpu_per_pair_seconds * n, pairs, metadata_bytes,
+        options_.cpu_model_threads);
+  }
+
+  // --- PIM side: simulate one DPU's share, model the full system -------
+  // Only needed to *derive* the split; a forced fraction skips the probe
+  // (pim_alone_seconds then stays 0 in the plan and timings).
+  if (forced < 0) {
+    pim::PimOptions probe = pim::PimOptions::from(options_);
+    probe.simulate_dpus = 1;
+    probe.virtual_total_pairs = pairs;
+    const usize share0 =
+        pim::PimBatchAligner::dpu_pair_range(pairs, probe.system.nr_dpus(), 0)
+            .second;
+    PIMWFA_ARG_CHECK(materialized >= share0,
+                     "hybrid PIM probe needs the first DPU's share ("
+                         << share0 << " pairs) materialized");
+    pim::PimBatchAligner prober(probe);
+    out.pim_alone_seconds =
+        prober.align_batch(batch.subspan(0, share0), scope, pool)
+            .timings.total_seconds();
+  }
+  return out;
+}
+
+HybridBatchAligner::Plan HybridBatchAligner::plan(seq::ReadPairSpan batch,
                                                   AlignmentScope scope,
                                                   ThreadPool* pool) const {
   Plan out;
@@ -31,57 +96,35 @@ HybridBatchAligner::Plan HybridBatchAligner::plan(const seq::ReadPairSet& batch,
   PIMWFA_ARG_CHECK(materialized > 0,
                    "hybrid calibration needs materialized pairs");
 
-  const double forced = options_.hybrid_cpu_fraction;
-  const cpu::CpuSystemModel cpu_system{};
-  const double n = static_cast<double>(out.pairs);
-
-  // --- CPU side: per-pair cost on one paper core + roofline projection --
-  if (forced != 0.0) {
-    double metadata_per_pair = 0;
-    if (options_.cpu_per_pair_seconds > 0) {
-      out.cpu_per_pair_seconds = options_.cpu_per_pair_seconds;
+  // Serve the calibration from the per-instance cache; a miss computes it
+  // while holding the lock so concurrent same-configuration runs probe
+  // exactly once (the second thread blocks, then reads the entry). This
+  // also serializes first-time misses of *different* configurations - a
+  // deliberate trade: probes are small, and per-key synchronization is
+  // not worth its complexity until a profile says otherwise.
+  Calibration calibration;
+  {
+    const CalibrationKey key{out.pairs, materialized,
+                             batch.max_pattern_length(),
+                             batch.max_text_length(), scope};
+    std::lock_guard lock(cache_mutex_);
+    const auto hit = cache_.find(key);
+    if (hit != cache_.end()) {
+      calibration = hit->second;
     } else {
-      const usize sample_pairs =
-          std::min(materialized, options_.hybrid_calibration_pairs);
-      const seq::ReadPairSet sample = batch.slice(0, sample_pairs);
-      const cpu::CpuBatchAligner calibrator(
-          cpu::CpuBatchOptions{options_.penalties, 1});
-      const cpu::CpuBatchResult measured =
-          calibrator.align_batch(sample, scope);
-      const double per_pair_host =
-          measured.seconds / static_cast<double>(sample_pairs);
-      out.cpu_per_pair_seconds = per_pair_host * cpu_system.host_core_ratio;
-      metadata_per_pair = static_cast<double>(measured.work.allocated_bytes) /
-                          static_cast<double>(sample_pairs);
+      calibration = calibrate(batch, scope, pool, out.pairs);
+      calibrations_.fetch_add(1, std::memory_order_relaxed);
+      cache_.emplace(key, calibration);
     }
-    const u64 metadata_bytes = static_cast<u64>(metadata_per_pair * n);
-    out.cpu_traffic_bytes =
-        cpu::estimate_batch_traffic(out.pairs, metadata_bytes);
-    out.cpu_alone_seconds = cpu::project_batch_seconds(
-        cpu_system, out.cpu_per_pair_seconds * n, out.pairs, metadata_bytes,
-        options_.cpu_model_threads);
   }
-
-  // --- PIM side: simulate one DPU's share, model the full system -------
-  // Only needed to *derive* the split; a forced fraction skips the probe
-  // (pim_alone_seconds then stays 0 in the plan and timings).
-  if (forced < 0) {
-    pim::PimOptions probe = pim::PimOptions::from(options_);
-    probe.simulate_dpus = 1;
-    probe.virtual_total_pairs = out.pairs;
-    const usize share0 = pim::PimBatchAligner::dpu_pair_range(
-                             out.pairs, probe.system.nr_dpus(), 0)
-                             .second;
-    PIMWFA_ARG_CHECK(materialized >= share0,
-                     "hybrid PIM probe needs the first DPU's share ("
-                         << share0 << " pairs) materialized");
-    pim::PimBatchAligner prober(probe);
-    out.pim_alone_seconds =
-        prober.align_batch(batch.slice(0, share0), scope, pool)
-            .timings.total_seconds();
-  }
+  out.cpu_alone_seconds = calibration.cpu_alone_seconds;
+  out.pim_alone_seconds = calibration.pim_alone_seconds;
+  out.cpu_per_pair_seconds = calibration.cpu_per_pair_seconds;
+  out.cpu_traffic_bytes = calibration.cpu_traffic_bytes;
 
   // --- split proportional to modeled throughput -------------------------
+  const double forced = options_.hybrid_cpu_fraction;
+  const double n = static_cast<double>(out.pairs);
   if (forced >= 0) {
     out.cpu_fraction = forced;
   } else {
@@ -95,9 +138,10 @@ HybridBatchAligner::Plan HybridBatchAligner::plan(const seq::ReadPairSet& batch,
   return out;
 }
 
-BatchResult HybridBatchAligner::run(const seq::ReadPairSet& batch,
+BatchResult HybridBatchAligner::run(seq::ReadPairSpan batch,
                                     AlignmentScope scope, ThreadPool* pool) {
   WallTimer timer;
+  const u64 copied_before = seq::bases_copied_counter();
   BatchResult out;
   out.backend = name();
   const usize materialized = batch.size();
@@ -122,7 +166,7 @@ BatchResult HybridBatchAligner::run(const seq::ReadPairSet& batch,
         split.pim_pairs > pim_materialized ? split.pim_pairs : 0;
     pim::PimBatchAligner pim_side(pim_options);
     pim::PimBatchResult pim_result =
-        pim_side.align_batch(batch.slice(0, pim_materialized), scope, pool);
+        pim_side.align_batch(batch.subspan(0, pim_materialized), scope, pool);
     const pim::PimTimings& pt = pim_result.timings;
     t.pim_modeled_seconds = pt.total_seconds();
     t.scatter_seconds = pt.scatter_seconds;
@@ -149,7 +193,7 @@ BatchResult HybridBatchAligner::run(const seq::ReadPairSet& batch,
       const cpu::CpuBatchAligner cpu_side(
           cpu::CpuBatchOptions::from(options_));
       cpu::CpuBatchResult cpu_result = cpu_side.align_batch(
-          batch.slice(split.pim_pairs, materialized), scope, pool);
+          batch.subspan(split.pim_pairs, materialized), scope, pool);
       t.cpu_wall_seconds = cpu_result.seconds;
       out.results.insert(out.results.end(),
                          std::make_move_iterator(cpu_result.results.begin()),
@@ -159,6 +203,7 @@ BatchResult HybridBatchAligner::run(const seq::ReadPairSet& batch,
 
   t.materialized = out.results.size();
   t.modeled_seconds = std::max(t.cpu_modeled_seconds, t.pim_modeled_seconds);
+  t.bases_copied = seq::bases_copied_counter() - copied_before;
   t.wall_seconds = timer.seconds();
   return out;
 }

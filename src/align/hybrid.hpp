@@ -4,21 +4,34 @@
 // while the PIM system aligns a batch, the 56-thread host CPU sits idle
 // (and vice versa for the baseline). This backend splits every batch
 // between the two sides proportionally to their modeled throughputs -
-// calibrated per batch from the roofline ScalingModel (CPU) and a small
-// simulated PIM probe (PimTimings) - runs both shares, and merges the
-// results in input order. Both sides run the exact same WFA, so the
-// merged results are bit-identical to either backend alone; the modeled
-// end-to-end time is max(cpu share, pim share), which a
-// throughput-proportional split drives to
-// T_cpu * T_pim / (T_cpu + T_pim) <= min(T_cpu, T_pim).
+// calibrated from the roofline ScalingModel (CPU) and a small simulated
+// PIM probe (PimTimings) - runs both shares, and merges the results in
+// input order. Both sides run the exact same WFA, so the merged results
+// are bit-identical to either backend alone; the modeled end-to-end time
+// is max(cpu share, pim share), which a throughput-proportional split
+// drives to T_cpu * T_pim / (T_cpu + T_pim) <= min(T_cpu, T_pim).
 //
 // Split layout: the PIM side takes the virtual prefix [0, pim_pairs) and
 // the CPU side the suffix [pim_pairs, n). A prefix for the PIM side keeps
 // its virtual-batch machinery intact (materialized pairs must prefix the
 // virtual batch), so the hybrid composes with simulate_dpus /
 // virtual_pairs scaling as well as with the packed and pipelined PIM
-// variants.
+// variants. Both shares are O(1) sub-views of the input span - the split
+// itself moves zero bases.
+//
+// Calibration caching: the CPU sample and the 1-DPU PIM probe are paid
+// once per batch configuration (shape + scope), not once per run. The
+// per-instance cache is mutex-guarded - the BatchEngine keeps several
+// batches in flight against one backend - and a cache miss computes the
+// calibration while holding the lock, so concurrent runs of the same
+// configuration perform exactly one probe. Replacing the options through
+// set_options() invalidates the cache; a new batch shape calibrates its
+// own entry without evicting others.
 #pragma once
+
+#include <atomic>
+#include <map>
+#include <mutex>
 
 #include "align/batch.hpp"
 
@@ -45,18 +58,68 @@ class HybridBatchAligner final : public BatchAligner {
 
   // Calibrate without running the batch: measures (or takes the
   // configured override for) the CPU per-pair cost on a small sample and
-  // models the PIM side by simulating a single DPU's share.
-  Plan plan(const seq::ReadPairSet& batch, AlignmentScope scope,
+  // models the PIM side by simulating a single DPU's share. Served from
+  // the calibration cache when this configuration has calibrated before.
+  Plan plan(seq::ReadPairSpan batch, AlignmentScope scope,
             ThreadPool* pool = nullptr) const;
 
-  BatchResult run(const seq::ReadPairSet& batch, AlignmentScope scope,
+  BatchResult run(seq::ReadPairSpan batch, AlignmentScope scope,
                   ThreadPool* pool = nullptr) override;
   std::string name() const override { return "hybrid"; }
 
   const BatchOptions& options() const noexcept { return options_; }
 
+  // Replaces the options (validated) and invalidates the calibration
+  // cache. Not safe to call while runs are in flight on this instance;
+  // quiesce the engine first.
+  void set_options(BatchOptions options);
+
+  // Calibrations actually computed (cache misses) since construction or
+  // the last set_options(). Repeated runs of one configuration keep this
+  // at 1; the concurrency stress test asserts exactly that.
+  usize calibrations_performed() const noexcept {
+    return calibrations_.load(std::memory_order_relaxed);
+  }
+
  private:
+  // What makes two batches share a calibration: the modeled batch size,
+  // how much of it is materialized (bounds the CPU sample and the probe's
+  // input), the per-pair MRAM slot geometry (max sequence lengths) and
+  // the alignment scope. Options are not part of the key because the
+  // cache is per-instance and set_options() clears it.
+  //
+  // The key is deliberately shape-only: a calibration is a model
+  // *estimate*, and same-shape batches are assumed workload-homogeneous
+  // (true for the paper's generated workloads, and the premise of
+  // reusing any calibration at all). Feeding one instance same-shape
+  // batches with very different edit loads reuses the first batch's
+  // measured CPU sample and probe; recalibrate by shape change or
+  // set_options() when that assumption breaks. With the deterministic
+  // cpu_per_pair_seconds override, cached entries are exact.
+  struct CalibrationKey {
+    usize pairs = 0;
+    usize materialized = 0;
+    usize max_pattern = 0;
+    usize max_text = 0;
+    AlignmentScope scope = AlignmentScope::kFull;
+    auto operator<=>(const CalibrationKey&) const = default;
+  };
+  // The expensive, shape-deterministic part of plan(): everything the
+  // split is derived from.
+  struct Calibration {
+    double cpu_alone_seconds = 0;
+    double pim_alone_seconds = 0;
+    double cpu_per_pair_seconds = 0;
+    double cpu_traffic_bytes = 0;
+  };
+
+  Calibration calibrate(seq::ReadPairSpan batch, AlignmentScope scope,
+                        ThreadPool* pool, usize pairs) const;
+
   BatchOptions options_;
+  mutable std::mutex cache_mutex_;
+  mutable std::map<CalibrationKey, Calibration> cache_;
+  mutable std::atomic<usize> calibrations_{0};
 };
 
 }  // namespace pimwfa::align

@@ -34,12 +34,12 @@ CpuBatchAligner::CpuBatchAligner(const align::BatchOptions& batch)
   virtual_pairs_ = batch.virtual_pairs;
 }
 
-CpuBatchResult CpuBatchAligner::align_batch(const seq::ReadPairSet& batch,
+CpuBatchResult CpuBatchAligner::align_batch(seq::ReadPairSpan batch,
                                             align::AlignmentScope scope) const {
   return align_batch(batch, scope, nullptr);
 }
 
-CpuBatchResult CpuBatchAligner::align_batch(const seq::ReadPairSet& batch,
+CpuBatchResult CpuBatchAligner::align_batch(seq::ReadPairSpan batch,
                                             align::AlignmentScope scope,
                                             ThreadPool* pool) const {
   CpuBatchResult out;
@@ -49,7 +49,7 @@ CpuBatchResult CpuBatchAligner::align_batch(const seq::ReadPairSet& batch,
   auto worker = [&](usize begin, usize end) {
     wfa::WfaAligner aligner{options_.penalties};
     for (usize i = begin; i < end; ++i) {
-      out.results[i] = aligner.align(batch[i].pattern, batch[i].text, scope);
+      out.results[i] = aligner.align(batch.pattern(i), batch.text(i), scope);
     }
     std::lock_guard lock(merge_mutex);
     out.work.merge(aligner.counters());
@@ -70,7 +70,7 @@ CpuBatchResult CpuBatchAligner::align_batch(const seq::ReadPairSet& batch,
   return out;
 }
 
-align::BatchResult CpuBatchAligner::run(const seq::ReadPairSet& batch,
+align::BatchResult CpuBatchAligner::run(seq::ReadPairSpan batch,
                                         align::AlignmentScope scope,
                                         ThreadPool* pool) {
   CpuBatchResult native = align_batch(batch, scope, pool);

@@ -12,7 +12,7 @@
 #include "align/aligner.hpp"
 #include "align/batch.hpp"
 #include "common/thread_pool.hpp"
-#include "seq/dataset.hpp"
+#include "seq/view.hpp"
 #include "wfa/wavefront.hpp"
 
 namespace pimwfa::cpu {
@@ -38,21 +38,23 @@ class CpuBatchAligner final : public align::BatchAligner {
   // Construct from the unified options (registry factory path).
   explicit CpuBatchAligner(const align::BatchOptions& batch);
 
-  // Native batch API. The ThreadPool overload reuses an external pool for
-  // the worker loops (one static share per pool worker, options().threads
-  // ignored) so long-lived drivers like the BatchEngine stop paying pool
-  // construction per batch; the two-argument form keeps the historical
-  // behaviour of spawning a pool per call when options().threads > 1.
-  CpuBatchResult align_batch(const seq::ReadPairSet& batch,
+  // Native batch API over a non-owning pair view (zero-copy: the hybrid
+  // dispatcher and the engine hand in O(1) sub-spans of one batch). The
+  // ThreadPool overload reuses an external pool for the worker loops (one
+  // static share per pool worker, options().threads ignored) so
+  // long-lived drivers like the BatchEngine stop paying pool construction
+  // per batch; the two-argument form keeps the historical behaviour of
+  // spawning a pool per call when options().threads > 1.
+  CpuBatchResult align_batch(seq::ReadPairSpan batch,
                              align::AlignmentScope scope) const;
-  CpuBatchResult align_batch(const seq::ReadPairSet& batch,
+  CpuBatchResult align_batch(seq::ReadPairSpan batch,
                              align::AlignmentScope scope,
                              ThreadPool* pool) const;
 
   // Unified interface: measures with the configured host threads and
   // projects the measurement onto the modeled server (ScalingModel) for
   // BatchTimings::modeled_seconds.
-  align::BatchResult run(const seq::ReadPairSet& batch,
+  align::BatchResult run(seq::ReadPairSpan batch,
                          align::AlignmentScope scope,
                          ThreadPool* pool = nullptr) override;
   std::string name() const override { return "cpu"; }

@@ -16,21 +16,25 @@ namespace {
 // Record codecs shared by the synchronous and pipelined paths, so both
 // produce byte-identical MRAM images and result decoding.
 
+// Stages one pair into its MRAM record directly from the batch view's
+// string storage: plain mode memcpys the bases, packed mode 2-bit-packs
+// them, either way without an intermediate host-side copy of the pair.
 void write_pair_record(upmem::PimSystem& system, usize d,
-                       const BatchLayout& layout, const seq::ReadPair& pair,
-                       usize slot, bool packed, std::vector<u8>& record) {
+                       const BatchLayout& layout, std::string_view pattern,
+                       std::string_view text, usize slot, bool packed,
+                       std::vector<u8>& record) {
   record.assign(static_cast<usize>(layout.header().pair_stride), 0);
-  const u32 lens[2] = {static_cast<u32>(pair.pattern.size()),
-                       static_cast<u32>(pair.text.size())};
+  const u32 lens[2] = {static_cast<u32>(pattern.size()),
+                       static_cast<u32>(text.size())};
   std::memcpy(record.data(), lens, 8);
   if (packed) {
-    seq::PackedSequence::pack_into(pair.pattern, record.data() + 8);
+    seq::PackedSequence::pack_into(pattern, record.data() + 8);
     seq::PackedSequence::pack_into(
-        pair.text, record.data() + 8 + layout.pattern_field_bytes());
+        text, record.data() + 8 + layout.pattern_field_bytes());
   } else {
-    std::memcpy(record.data() + 8, pair.pattern.data(), pair.pattern.size());
-    std::memcpy(record.data() + 8 + layout.pattern_field_bytes(),
-                pair.text.data(), pair.text.size());
+    std::memcpy(record.data() + 8, pattern.data(), pattern.size());
+    std::memcpy(record.data() + 8 + layout.pattern_field_bytes(), text.data(),
+                text.size());
   }
   system.copy_to_mram(d, layout.pair_addr(slot), record);
 }
@@ -59,7 +63,7 @@ align::AlignmentResult read_result_record(const upmem::PimSystem& system,
 // Everything both execution paths need about one batch run.
 struct BatchRun {
   const PimOptions& options;
-  const seq::ReadPairSet& batch;
+  seq::ReadPairSpan batch;
   upmem::PimSystem& system;
   bool full = false;
   usize logical = 0;
@@ -115,7 +119,8 @@ PimBatchResult run_synchronous(const BatchRun& run, ThreadPool* pool) {
       system.copy_to_mram(
           d, 0, {reinterpret_cast<const u8*>(&h), sizeof(BatchHeader)});
       for (usize p = begin; p < end; ++p) {
-        write_pair_record(system, d, layout, run.batch[p], p - begin,
+        write_pair_record(system, d, layout, run.batch.pattern(p),
+                          run.batch.text(p), p - begin,
                           run.options.packed_sequences, record);
       }
     }
@@ -230,7 +235,8 @@ PimBatchResult run_pipelined(const BatchRun& run,
       const auto [sb, se] = PipelineSchedule::slice(end - begin, chunks, c,
                                                     run.options.nr_tasklets);
       for (usize p = sb; p < se; ++p) {
-        write_pair_record(system, d, layout, run.batch[begin + p], p,
+        write_pair_record(system, d, layout, run.batch.pattern(begin + p),
+                          run.batch.text(begin + p), p,
                           run.options.packed_sequences, record);
       }
     }
@@ -380,7 +386,7 @@ std::string PimBatchAligner::name() const {
   return "pim";
 }
 
-align::BatchResult PimBatchAligner::run(const seq::ReadPairSet& batch,
+align::BatchResult PimBatchAligner::run(seq::ReadPairSpan batch,
                                         align::AlignmentScope scope,
                                         ThreadPool* pool) {
   WallTimer timer;
@@ -415,7 +421,7 @@ std::pair<usize, usize> PimBatchAligner::dpu_pair_range(usize n, usize nr_dpus,
   return {begin, begin + count};
 }
 
-PimBatchResult PimBatchAligner::align_batch(const seq::ReadPairSet& batch,
+PimBatchResult PimBatchAligner::align_batch(seq::ReadPairSpan batch,
                                             align::AlignmentScope scope,
                                             ThreadPool* pool) {
   const usize logical = options_.system.nr_dpus();

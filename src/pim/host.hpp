@@ -29,7 +29,7 @@
 #include "pim/cost_table.hpp"
 #include "pim/layout.hpp"
 #include "pim/pipeline.hpp"
-#include "seq/dataset.hpp"
+#include "seq/view.hpp"
 #include "upmem/system.hpp"
 
 namespace pimwfa::pim {
@@ -123,19 +123,21 @@ class PimBatchAligner final : public align::BatchAligner {
   // Construct from the unified options (registry factory path).
   explicit PimBatchAligner(const align::BatchOptions& batch);
 
-  // Align the batch on the simulated PIM system. `pool`, if given,
-  // parallelizes the host-side simulation: independent DPUs in the
+  // Align the batch (a non-owning view; MRAM ingestion reads - and, in
+  // packed mode, packs - straight from the viewed pairs, so carving a
+  // sub-batch for this call never copies bases host-side). `pool`, if
+  // given, parallelizes the host-side simulation: independent DPUs in the
   // synchronous path, concurrent pipeline stages in pipelined mode (a
   // simulator concern only; it does not affect modeled timing). Safe to
   // call concurrently on distinct batches: each call simulates its own
   // PimSystem.
-  PimBatchResult align_batch(const seq::ReadPairSet& batch,
+  PimBatchResult align_batch(seq::ReadPairSpan batch,
                              align::AlignmentScope scope,
                              ThreadPool* pool = nullptr);
 
   // Unified interface: wraps align_batch and maps PimTimings onto the
   // shared BatchTimings vocabulary.
-  align::BatchResult run(const seq::ReadPairSet& batch,
+  align::BatchResult run(seq::ReadPairSpan batch,
                          align::AlignmentScope scope,
                          ThreadPool* pool = nullptr) override;
   std::string name() const override;

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/check.hpp"
+#include "seq/view.hpp"
 
 namespace pimwfa::seq {
 namespace {
@@ -123,19 +124,20 @@ ReadPairSet ReadPairSet::sample_every(usize stride) const {
   out.error_rate = error_rate;
   out.nominal_read_length = nominal_read_length;
   out.reserve((pairs_.size() + stride - 1) / stride);
-  for (usize i = 0; i < pairs_.size(); i += stride) out.add(pairs_[i]);
+  for (usize i = 0; i < pairs_.size(); i += stride) {
+    bases_copied_counter() += pairs_[i].pattern.size() + pairs_[i].text.size();
+    out.add(pairs_[i]);
+  }
   return out;
 }
 
 ReadPairSet ReadPairSet::slice(usize begin, usize end) const {
-  end = std::min(end, pairs_.size());
-  begin = std::min(begin, end);
-  ReadPairSet out;
+  // Bounds checking and copy accounting live in the span layer; slice is
+  // the owning wrapper that also carries the provenance over.
+  ReadPairSet out = ReadPairSpan(*this).subspan(begin, end).to_owned();
   out.seed = seed;
   out.error_rate = error_rate;
   out.nominal_read_length = nominal_read_length;
-  out.reserve(end - begin);
-  for (usize i = begin; i < end; ++i) out.add(pairs_[i]);
   return out;
 }
 

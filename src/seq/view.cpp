@@ -1,0 +1,55 @@
+#include "seq/view.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pimwfa::seq {
+
+u64& bases_copied_counter() noexcept {
+  thread_local u64 counter = 0;
+  return counter;
+}
+
+ReadPairSpan ReadPairSpan::subspan(usize begin, usize end) const {
+  PIMWFA_ARG_CHECK(begin <= end, "span subrange [" << begin << ", " << end
+                                                   << ") is inverted");
+  PIMWFA_ARG_CHECK(end <= size_, "span subrange [" << begin << ", " << end
+                                                   << ") overruns " << size_
+                                                   << " pairs");
+  return {data_ + begin, end - begin};
+}
+
+usize ReadPairSpan::max_pattern_length() const noexcept {
+  usize longest = 0;
+  for (usize i = 0; i < size_; ++i) {
+    longest = std::max(longest, data_[i].pattern.size());
+  }
+  return longest;
+}
+
+usize ReadPairSpan::max_text_length() const noexcept {
+  usize longest = 0;
+  for (usize i = 0; i < size_; ++i) {
+    longest = std::max(longest, data_[i].text.size());
+  }
+  return longest;
+}
+
+u64 ReadPairSpan::total_bases() const noexcept {
+  u64 total = 0;
+  for (usize i = 0; i < size_; ++i) {
+    total += data_[i].pattern.size() + data_[i].text.size();
+  }
+  return total;
+}
+
+ReadPairSet ReadPairSpan::to_owned() const {
+  ReadPairSet out;
+  out.reserve(size_);
+  for (usize i = 0; i < size_; ++i) out.add(data_[i]);
+  bases_copied_counter() += total_bases();
+  return out;
+}
+
+}  // namespace pimwfa::seq

@@ -1,0 +1,78 @@
+// Non-owning view over a contiguous range of read pairs.
+//
+// A ReadPairSpan is to ReadPairSet what std::string_view is to
+// std::string: a (pointer, length) pair that slices in O(1). It is the
+// argument type of the whole batch stack (align::BatchAligner::run and
+// the native align_batch APIs), so the hybrid dispatcher, the engine's
+// sharded submission and the calibration probes carve sub-batches without
+// copying a single base - the data-movement class the PIM design exists
+// to eliminate. ReadPairSet converts implicitly, so owning callers keep
+// working unchanged.
+//
+// Lifetime contract: a span borrows the set's pair storage. The set must
+// outlive every span over it, and any mutation of the set (add/load)
+// invalidates existing spans, exactly like vector iterators. Take the
+// span after the batch is fully built; re-take it after mutating.
+#pragma once
+
+#include <string_view>
+
+#include "seq/dataset.hpp"
+
+namespace pimwfa::seq {
+
+// Thread-local count of bases deep-copied by the owning carve APIs
+// (ReadPairSet::slice / sample_every, ReadPairSpan::to_owned). The
+// dispatchers snapshot it around a run and report the delta as
+// BatchTimings::bases_copied; the CI perf gate pins that delta to zero so
+// an O(total bases) copy cannot silently return to the hot path.
+u64& bases_copied_counter() noexcept;
+
+class ReadPairSpan {
+ public:
+  ReadPairSpan() = default;
+  ReadPairSpan(const ReadPair* data, usize size) : data_(data), size_(size) {}
+  // Implicit: view the whole owning set (the migration path for existing
+  // callers that hold a ReadPairSet).
+  ReadPairSpan(const ReadPairSet& set)
+      : data_(set.pairs().data()), size_(set.size()) {}
+
+  usize size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  const ReadPair& operator[](usize i) const { return data_[i]; }
+  std::string_view pattern(usize i) const { return data_[i].pattern; }
+  std::string_view text(usize i) const { return data_[i].text; }
+
+  const ReadPair* data() const noexcept { return data_; }
+  const ReadPair* begin() const noexcept { return data_; }
+  const ReadPair* end() const noexcept { return data_ + size_; }
+
+  // The sub-view [begin, end) in O(1); throws InvalidArgument when
+  // begin > end or end > size() (bounds misuse is a caller bug, never
+  // silently clamped).
+  ReadPairSpan subspan(usize begin, usize end) const;
+  // The first min(n, size()) pairs (calibration samples).
+  ReadPairSpan first(usize n) const {
+    return {data_, n < size_ ? n : size_};
+  }
+
+  // Longest pattern/text over the viewed pairs (0 for an empty span); the
+  // PIM layout sizes its per-pair MRAM slots from these.
+  usize max_pattern_length() const noexcept;
+  usize max_text_length() const noexcept;
+  u64 total_bases() const noexcept;
+
+  // Deep-copy the viewed pairs into an owning set (tests, persistence).
+  // Accounts the copied bases in bases_copied_counter(). A span does not
+  // know its source set's generation provenance (seed/error_rate/
+  // nominal_read_length), so the copy carries none; use
+  // ReadPairSet::slice when that metadata must survive.
+  ReadPairSet to_owned() const;
+
+ private:
+  const ReadPair* data_ = nullptr;
+  usize size_ = 0;
+};
+
+}  // namespace pimwfa::seq

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "align/batch_engine.hpp"
 #include "align/registry.hpp"
 #include "align/verify.hpp"
 #include "baselines/gotoh.hpp"
@@ -473,6 +474,67 @@ INSTANTIATE_TEST_SUITE_P(
         /*lengths=*/{64, 100},
         /*error_rates=*/{0.0, 0.02},
         /*penalty_sets=*/{Penalties::defaults(), Penalties{2, 12, 1}})),
+    [](const auto& info) { return info.param.name(); });
+
+// --- sharded zero-copy submission ----------------------------------------
+//
+// BatchEngine::run_sharded carves one batch into O(1) sub-views and keeps
+// them in flight concurrently; the merged results must be bit-identical
+// (scores + CIGARs) and in input order vs. the unsharded owning path, on
+// every registered backend, with zero bases copied by the carve.
+
+class ShardedViewDifferential : public ::testing::TestWithParam<DiffConfig> {
+};
+
+TEST_P(ShardedViewDifferential, ShardedViewsMatchTheUnshardedOwningPath) {
+  const DiffConfig config = GetParam();
+  const seq::ReadPairSet batch =
+      pimwfa::testing::diff_batch(config, kPairsPerConfig);
+
+  align::BatchOptions options;
+  options.penalties = config.penalties;
+  options.pim_dpus = 4;
+  options.pim_tasklets = 8;
+  options.cpu_threads = 2;
+  // Deterministic CPU calibration: the hybrid's shard splits then depend
+  // only on shape, and the sweep stays runner-independent.
+  options.cpu_per_pair_seconds = 5e-6;
+
+  align::BackendRegistry& registry = align::backend_registry();
+  for (const char* key :
+       {"cpu", "pim", "pim-pipelined", "pim-packed", "hybrid"}) {
+    // The owning path: the whole set handed to the backend in one run.
+    const align::BatchResult unsharded =
+        registry.create(key, options)->run(batch, AlignmentScope::kFull);
+    ASSERT_EQ(unsharded.results.size(), batch.size()) << key;
+
+    align::BatchEngineOptions engine_options;
+    engine_options.backend = key;
+    engine_options.batch = options;
+    engine_options.max_in_flight = 3;
+    engine_options.workers = 2;
+    align::BatchEngine engine(engine_options);
+    const align::BatchResult sharded =
+        engine.run_sharded(batch, AlignmentScope::kFull, /*shards=*/3);
+
+    ASSERT_EQ(sharded.results.size(), batch.size()) << key;
+    for (usize i = 0; i < batch.size(); ++i) {
+      ASSERT_EQ(sharded.results[i], unsharded.results[i])
+          << key << " sharded-vs-unsharded, " << pair_diag(config, i, batch[i]);
+    }
+    EXPECT_EQ(sharded.timings.pairs, batch.size()) << key;
+    EXPECT_EQ(sharded.timings.materialized, batch.size()) << key;
+    EXPECT_EQ(sharded.timings.bases_copied, 0u)
+        << key << ": sharded dispatch over views must not copy bases";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ShardedViewDifferential,
+    ::testing::ValuesIn(pimwfa::testing::diff_cross(
+        /*lengths=*/{64, 100},
+        /*error_rates=*/{0.02, 0.10},
+        /*penalty_sets=*/{Penalties::defaults()})),
     [](const auto& info) { return info.param.name(); });
 
 }  // namespace

@@ -269,7 +269,7 @@ class BarrierBackend final : public align::BatchAligner {
  public:
   explicit BarrierBackend(usize expected) : expected_(expected) {}
 
-  BatchResult run(const seq::ReadPairSet& batch, align::AlignmentScope,
+  BatchResult run(seq::ReadPairSpan batch, align::AlignmentScope,
                   ThreadPool*) override {
     {
       std::unique_lock lock(mutex_);
@@ -281,7 +281,7 @@ class BarrierBackend final : public align::BatchAligner {
     out.backend = name();
     out.results.resize(batch.size());
     for (usize i = 0; i < batch.size(); ++i) {
-      out.results[i].score = static_cast<i64>(batch[i].pattern.size());
+      out.results[i].score = static_cast<i64>(batch.pattern(i).size());
     }
     out.timings.pairs = batch.size();
     out.timings.materialized = batch.size();
@@ -333,8 +333,10 @@ TEST(BatchEngine, SubmitViaRegistryBackendReturnsCorrectResults) {
 
   const seq::ReadPairSet a = small_batch(40, 0xAA);
   const seq::ReadPairSet b = small_batch(60, 0xBB);
-  auto fa = engine.submit(a, AlignmentScope::kFull);
-  auto fb = engine.submit(b, AlignmentScope::kFull);
+  // Borrowing an lvalue set is an explicit act (the ReadPairSet lvalue
+  // overload is deleted): a and b outlive the futures below.
+  auto fa = engine.submit(seq::ReadPairSpan(a), AlignmentScope::kFull);
+  auto fb = engine.submit(seq::ReadPairSpan(b), AlignmentScope::kFull);
 
   const cpu::CpuBatchAligner reference(
       cpu::CpuBatchOptions{align::Penalties::defaults(), 1});
@@ -413,7 +415,7 @@ TEST(BatchEngine, RunShardedTruncatesAtFirstPartiallyMaterializedShard) {
 TEST(BatchEngine, BackendExceptionsPropagateThroughTheFuture) {
   class ThrowingBackend final : public align::BatchAligner {
    public:
-    BatchResult run(const seq::ReadPairSet&, align::AlignmentScope,
+    BatchResult run(seq::ReadPairSpan, align::AlignmentScope,
                     ThreadPool*) override {
       throw InvalidArgument("boom");
     }

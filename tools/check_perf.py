@@ -16,7 +16,10 @@ Baseline schema (ci/perf_baseline.json):
   { "<bench name>": { "<metric>": <expected value>, ... }, ... }
 
 Higher metric values are assumed better (throughputs, speedups, ratios);
-gate on those, not on raw seconds.
+gate on those, not on raw seconds. A metric may instead be pinned to an
+exact value with {"equals": <value>} - used for structural invariants
+like hybrid/bases_copied == 0, where any deviation (in either direction)
+is a regression, not noise.
 """
 
 import argparse
@@ -49,6 +52,20 @@ def check_report(path: str, baselines: dict, max_regress: float) -> int:
             failures.append(f"{name}: missing from report")
             continue
         actual = entry["value"]
+        if isinstance(expected, dict):
+            if "equals" not in expected:
+                failures.append(
+                    f"{name}: unrecognized baseline spec {expected!r} "
+                    f"(only {{\"equals\": <value>}} is supported)")
+                continue
+            target = expected["equals"]
+            status = "OK" if actual == target else "REGRESSED"
+            print(f"  {bench}/{name}: {actual:.4f} must equal "
+                  f"{target:.4f} {status}")
+            if actual != target:
+                failures.append(
+                    f"{name}: {actual:.4f} != required {target:.4f}")
+            continue
         floor = expected * (1.0 - max_regress)
         status = "OK" if actual >= floor else "REGRESSED"
         print(f"  {bench}/{name}: {actual:.4f} vs baseline "
