@@ -29,29 +29,32 @@ BatchEngine::~BatchEngine() = default;  // pool destructors drain the queues
 
 std::future<BatchResult> BatchEngine::submit(seq::ReadPairSpan batch,
                                              AlignmentScope scope) {
-  ++submitted_;
-  ++in_flight_;
+  // Validate the borrow at dispatch, before any engine state changes: a
+  // span that is already dangling fails synchronously in the caller's
+  // frame (LifetimeError under PIMWFA_CHECKED_VIEWS), with the counters
+  // untouched.
+  batch.check_valid();
   // packaged_task is move-only; the shared_ptr wrapper makes the
   // dispatcher task copyable (std::function requirement). The span is
   // captured by value - the caller's storage outlives the future per the
   // submit contract - so no base is copied on the way in.
   auto task = std::make_shared<std::packaged_task<BatchResult()>>(
       [this, batch, scope]() {
+        // Re-validate at task start: the async gap between dispatch and
+        // execution is exactly where the borrow goes stale. A violation
+        // surfaces as LifetimeError through the future instead of the
+        // backend reading freed memory.
+        batch.check_valid();
         BatchResult result = backend_->run(batch, scope, workers_.get());
         return result;
       });
   std::future<BatchResult> future = task->get_future();
-  dispatcher_->submit([this, task] {
-    (*task)();
-    --in_flight_;
-  });
+  enqueue(std::move(task));
   return future;
 }
 
 std::future<BatchResult> BatchEngine::submit(seq::ReadPairSet&& batch,
                                              AlignmentScope scope) {
-  ++submitted_;
-  ++in_flight_;
   // The set is moved (not copied) into shared ownership that the task
   // keeps alive until it has run; the backend still sees a view.
   auto owned = std::make_shared<seq::ReadPairSet>(std::move(batch));
@@ -61,11 +64,30 @@ std::future<BatchResult> BatchEngine::submit(seq::ReadPairSet&& batch,
         return result;
       });
   std::future<BatchResult> future = task->get_future();
-  dispatcher_->submit([this, task] {
-    (*task)();
-    --in_flight_;
-  });
+  enqueue(std::move(task));
   return future;
+}
+
+void BatchEngine::enqueue(
+    std::shared_ptr<std::packaged_task<BatchResult()>> task) {
+  // Counter discipline: both counters move together, and a dispatcher
+  // that refuses the task (stopped pool) rolls them back before the
+  // exception escapes - otherwise in_flight_ would read nonzero forever
+  // for a batch that never ran. The increment happens before the enqueue
+  // because the task's completion decrement may run on a worker thread
+  // the instant submit() returns.
+  ++submitted_;
+  ++in_flight_;
+  try {
+    dispatcher_->submit([this, task = std::move(task)] {
+      (*task)();
+      --in_flight_;
+    });
+  } catch (...) {
+    --submitted_;
+    --in_flight_;
+    throw;
+  }
 }
 
 BatchResult BatchEngine::run_sharded(seq::ReadPairSpan batch,
@@ -75,14 +97,46 @@ BatchResult BatchEngine::run_sharded(seq::ReadPairSpan batch,
                    "run_sharded needs fully materialized batches; the "
                    "backend was configured with virtual_pairs="
                        << backend_virtual_pairs_);
+  batch.check_valid();
   WallTimer timer;
   const std::vector<std::pair<usize, usize>> ranges =
       ThreadPool::partition(batch.size(), shards);
   std::vector<std::future<BatchResult>> inflight;
   inflight.reserve(ranges.size());
-  for (const auto& [begin, end] : ranges) {
-    inflight.push_back(submit(batch.subspan(begin, end), scope));
+  try {
+    for (const auto& [begin, end] : ranges) {
+      inflight.push_back(submit(batch.subspan(begin, end), scope));
+    }
+  } catch (...) {
+    // A refused submission must not abandon the shards already in flight:
+    // they run against `batch`, whose storage the caller may tear down
+    // the moment this frame unwinds. Drain them, then rethrow the
+    // submission failure.
+    for (auto& future : inflight) {
+      try {
+        (void)future.get();
+      } catch (...) {
+        // The submission failure is the primary error.
+      }
+    }
+    throw;
   }
+
+  // Drain every shard before looking at any error: a shard whose .get()
+  // rethrows must not leave later shards running against the caller's
+  // (possibly unwinding) span. Mirrors ThreadPool::parallel_for - all
+  // futures are consumed, the first error wins and is rethrown only once
+  // nothing is in flight anymore.
+  std::vector<BatchResult> completed(inflight.size());
+  std::exception_ptr first_error;
+  for (usize shard_index = 0; shard_index < inflight.size(); ++shard_index) {
+    try {
+      completed[shard_index] = inflight[shard_index].get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 
   BatchResult out;
   out.backend = backend_->name();
@@ -93,8 +147,8 @@ BatchResult BatchEngine::run_sharded(seq::ReadPairSpan batch,
   // materialized shard (pim_simulate_dpus) ends the merged prefix there -
   // appending later shards would misalign results with input indices.
   bool contiguous = true;
-  for (usize shard_index = 0; shard_index < inflight.size(); ++shard_index) {
-    BatchResult shard = inflight[shard_index].get();
+  for (usize shard_index = 0; shard_index < completed.size(); ++shard_index) {
+    BatchResult& shard = completed[shard_index];
     if (contiguous) {
       out.results.insert(out.results.end(),
                          std::make_move_iterator(shard.results.begin()),

@@ -56,6 +56,13 @@ class BatchEngine {
   // an owning lvalue set does not convert silently (see the deleted
   // overload) - write submit(seq::ReadPairSpan(set), ...) to borrow, or
   // submit(std::move(set), ...) to hand over ownership.
+  //
+  // Under PIMWFA_CHECKED_VIEWS the borrow is enforced: the span is
+  // validated at dispatch (an already-dangling span throws LifetimeError
+  // here, synchronously, with the counters untouched) and again at task
+  // start (a borrow that went stale in the async gap surfaces as
+  // LifetimeError through the future instead of a use-after-free in the
+  // backend).
   std::future<BatchResult> submit(seq::ReadPairSpan batch,
                                   AlignmentScope scope);
   // Owning overload: moves the set into the in-flight task (no base is
@@ -77,6 +84,11 @@ class BatchEngine {
   // batches: throws InvalidArgument when the engine's backend was
   // configured with virtual_pairs (a virtual batch cannot be cut into
   // uniform shards).
+  //
+  // Error path: every in-flight shard is drained before an error is
+  // rethrown (first one wins, like ThreadPool::parallel_for) - a failing
+  // shard never leaves later shards running against storage this frame
+  // no longer guards.
   BatchResult run_sharded(seq::ReadPairSpan batch, AlignmentScope scope,
                           usize shards);
 
@@ -91,6 +103,12 @@ class BatchEngine {
   std::string backend_name() const { return backend_->name(); }
 
  private:
+  // Shared tail of both submit overloads: moves the counters and hands
+  // the task to the dispatcher, rolling the counters back when the
+  // dispatcher refuses the task (exception safety of submitted_ /
+  // in_flight_).
+  void enqueue(std::shared_ptr<std::packaged_task<BatchResult()>> task);
+
   std::unique_ptr<BatchAligner> backend_;
   // Nonzero when the registry-constructed backend models virtual batches
   // (unknowable for injected backends); run_sharded refuses those.

@@ -45,6 +45,15 @@ HybridBatchAligner::Calibration HybridBatchAligner::calibrate(
     } else {
       const usize sample_pairs =
           std::min(materialized, options_.hybrid_calibration_pairs);
+      // Guarded by BatchOptions::validate (hybrid_calibration_pairs >= 1)
+      // and plan() (materialized > 0), but the division below turns a
+      // zero into a NaN per-pair cost and a garbage split, so fail loudly
+      // here too rather than trust every entry path forever.
+      PIMWFA_ARG_CHECK(sample_pairs >= 1,
+                       "hybrid CPU calibration needs at least one sample "
+                       "pair (hybrid_calibration_pairs="
+                           << options_.hybrid_calibration_pairs
+                           << ", materialized=" << materialized << ")");
       const cpu::CpuBatchAligner calibrator(
           cpu::CpuBatchOptions{options_.penalties, 1});
       const cpu::CpuBatchResult measured =
@@ -87,6 +96,10 @@ HybridBatchAligner::Calibration HybridBatchAligner::calibrate(
 HybridBatchAligner::Plan HybridBatchAligner::plan(seq::ReadPairSpan batch,
                                                   AlignmentScope scope,
                                                   ThreadPool* pool) const {
+  // Validate the borrow before keying the calibration cache on the
+  // batch's shape (checked builds): the probe sub-spans carved below
+  // inherit this span's borrow and re-validate on their own accesses.
+  batch.check_valid();
   Plan out;
   const usize materialized = batch.size();
   out.pairs = options_.virtual_pairs != 0

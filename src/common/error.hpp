@@ -33,4 +33,13 @@ class HardwareFault : public Error {
   explicit HardwareFault(const std::string& what) : Error(what) {}
 };
 
+// A zero-copy view (seq::ReadPairSpan) was used after the storage it
+// borrows was mutated, moved-from, or destroyed. Only thrown when the
+// debug borrow checker is compiled in (PIMWFA_CHECKED_VIEWS, see
+// seq/lifetime.hpp); without it the same misuse is undefined behavior.
+class LifetimeError : public Error {
+ public:
+  explicit LifetimeError(const std::string& what) : Error(what) {}
+};
+
 }  // namespace pimwfa

@@ -42,6 +42,10 @@ CpuBatchResult CpuBatchAligner::align_batch(seq::ReadPairSpan batch,
 CpuBatchResult CpuBatchAligner::align_batch(seq::ReadPairSpan batch,
                                             align::AlignmentScope scope,
                                             ThreadPool* pool) const {
+  // Validate the borrow once up front (checked builds) so a stale span
+  // fails with its origin before any worker threads start; per-element
+  // accesses re-validate as the workers run.
+  batch.check_valid();
   CpuBatchResult out;
   out.results.resize(batch.size());
   std::mutex merge_mutex;

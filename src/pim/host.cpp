@@ -424,6 +424,11 @@ std::pair<usize, usize> PimBatchAligner::dpu_pair_range(usize n, usize nr_dpus,
 PimBatchResult PimBatchAligner::align_batch(seq::ReadPairSpan batch,
                                             align::AlignmentScope scope,
                                             ThreadPool* pool) {
+  // Validate the borrow before MRAM ingestion (checked builds): the
+  // scatter/kernel/gather stages - overlapped across pool threads in
+  // pipelined mode - hold this span for the whole call, and per-element
+  // accesses re-validate while they run.
+  batch.check_valid();
   const usize logical = options_.system.nr_dpus();
   const usize simulated = options_.simulate_dpus == 0
                               ? logical

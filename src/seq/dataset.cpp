@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <utility>
 
 #include "common/check.hpp"
 #include "seq/view.hpp"
@@ -40,6 +41,52 @@ std::string read_string(std::istream& is) {
 }
 
 }  // namespace
+
+#if PIMWFA_CHECKED_VIEWS
+// Borrow-checked special members (see seq/lifetime.hpp). A copy starts a
+// fresh control block: spans over the source keep tracking the source.
+// Move transfers the storage, so every span over the moved-from set is
+// invalidated (its data now belongs to the destination, which may mutate
+// or die on its own schedule); the destination starts a fresh block.
+ReadPairSet::ReadPairSet(const ReadPairSet& other)
+    : seed(other.seed),
+      error_rate(other.error_rate),
+      nominal_read_length(other.nominal_read_length),
+      pairs_(other.pairs_) {}
+
+ReadPairSet& ReadPairSet::operator=(const ReadPairSet& other) {
+  if (this != &other) {
+    invalidate_views();  // the old contents are replaced
+    seed = other.seed;
+    error_rate = other.error_rate;
+    nominal_read_length = other.nominal_read_length;
+    pairs_ = other.pairs_;
+  }
+  return *this;
+}
+
+ReadPairSet::ReadPairSet(ReadPairSet&& other)
+    : seed(other.seed),
+      error_rate(other.error_rate),
+      nominal_read_length(other.nominal_read_length),
+      pairs_(std::move(other.pairs_)) {
+  other.invalidate_views();
+}
+
+ReadPairSet& ReadPairSet::operator=(ReadPairSet&& other) {
+  if (this != &other) {
+    invalidate_views();        // the old contents are replaced
+    other.invalidate_views();  // the source's storage was taken
+    seed = other.seed;
+    error_rate = other.error_rate;
+    nominal_read_length = other.nominal_read_length;
+    pairs_ = std::move(other.pairs_);
+  }
+  return *this;
+}
+
+ReadPairSet::~ReadPairSet() { control_->retire(); }
+#endif  // PIMWFA_CHECKED_VIEWS
 
 DatasetStats ReadPairSet::stats() const {
   DatasetStats s;

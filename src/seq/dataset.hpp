@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "seq/lifetime.hpp"
 
 namespace pimwfa::seq {
 
@@ -34,14 +35,46 @@ class ReadPairSet {
   ReadPairSet() = default;
   explicit ReadPairSet(std::vector<ReadPair> pairs) : pairs_(std::move(pairs)) {}
 
+#if PIMWFA_CHECKED_VIEWS
+  // The debug borrow checker (seq/lifetime.hpp) needs the full rule of
+  // five: copies get a fresh control block (their borrows are
+  // independent), assignment and move-from bump the affected blocks
+  // (every span over the old contents is invalidated), destruction
+  // retires the block so surviving spans report "destroyed" instead of
+  // reading freed memory. Without PIMWFA_CHECKED_VIEWS the implicit
+  // special members apply unchanged.
+  ReadPairSet(const ReadPairSet& other);
+  ReadPairSet& operator=(const ReadPairSet& other);
+  ReadPairSet(ReadPairSet&& other);
+  ReadPairSet& operator=(ReadPairSet&& other);
+  ~ReadPairSet();
+
+  // Current mutation generation; a span is valid while its recorded
+  // generation still matches.
+  u64 generation() const noexcept {
+    return control_->generation.load(std::memory_order_acquire);
+  }
+  const detail::ViewControlPtr& view_control() const noexcept {
+    return control_;
+  }
+#endif
+
   usize size() const noexcept { return pairs_.size(); }
   bool empty() const noexcept { return pairs_.empty(); }
 
   const ReadPair& operator[](usize i) const { return pairs_[i]; }
   const std::vector<ReadPair>& pairs() const noexcept { return pairs_; }
 
-  void add(ReadPair pair) { pairs_.push_back(std::move(pair)); }
-  void reserve(usize n) { pairs_.reserve(n); }
+  void add(ReadPair pair) {
+    invalidate_views();
+    pairs_.push_back(std::move(pair));
+  }
+  void reserve(usize n) {
+    // Growth may reallocate the pair storage; a no-op reserve keeps
+    // element addresses and therefore existing views.
+    if (n > pairs_.capacity()) invalidate_views();
+    pairs_.reserve(n);
+  }
 
   // Generation provenance, carried through serialization (0/NaN if unknown).
   u64 seed = 0;
@@ -78,7 +111,18 @@ class ReadPairSet {
   }
 
  private:
+  // Every mutating operation calls this before touching pairs_; spans
+  // taken earlier then fail deterministically instead of dangling.
+  void invalidate_views() noexcept {
+#if PIMWFA_CHECKED_VIEWS
+    control_->bump();
+#endif
+  }
+
   std::vector<ReadPair> pairs_;
+#if PIMWFA_CHECKED_VIEWS
+  detail::ViewControlPtr control_ = std::make_shared<detail::ViewControl>();
+#endif
 };
 
 }  // namespace pimwfa::seq

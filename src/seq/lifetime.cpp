@@ -1,0 +1,32 @@
+#include "seq/lifetime.hpp"
+
+#if PIMWFA_CHECKED_VIEWS
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pimwfa::seq::detail {
+
+[[noreturn]] void throw_lifetime_error(const ViewControl& control,
+                                       u64 borrowed_generation,
+                                       const std::source_location& origin) {
+  std::ostringstream oss;
+  oss << "view lifetime violation: ReadPairSpan borrowed at "
+      << origin.file_name() << ":" << origin.line() << " (generation "
+      << borrowed_generation << ") ";
+  if (!control.alive.load(std::memory_order_acquire)) {
+    oss << "outlived its ReadPairSet: the set was destroyed while the span "
+           "was still in use";
+  } else {
+    oss << "is stale: the set has mutated to generation "
+        << control.generation.load(std::memory_order_acquire)
+        << " (add/load/move-from invalidates spans; re-take the view after "
+           "mutating)";
+  }
+  throw LifetimeError(oss.str());
+}
+
+}  // namespace pimwfa::seq::detail
+
+#endif  // PIMWFA_CHECKED_VIEWS

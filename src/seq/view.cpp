@@ -11,16 +11,41 @@ u64& bases_copied_counter() noexcept {
   return counter;
 }
 
+#if PIMWFA_CHECKED_VIEWS
+ReadPairSpan::ReadPairSpan(const ReadPairSet& set, std::source_location origin)
+    : data_(set.pairs().data()),
+      size_(set.size()),
+      control_(set.view_control()),
+      generation_(set.generation()),
+      origin_(origin) {}
+#endif
+
 ReadPairSpan ReadPairSpan::subspan(usize begin, usize end) const {
+  check_valid();
   PIMWFA_ARG_CHECK(begin <= end, "span subrange [" << begin << ", " << end
                                                    << ") is inverted");
   PIMWFA_ARG_CHECK(end <= size_, "span subrange [" << begin << ", " << end
                                                    << ") overruns " << size_
                                                    << " pairs");
-  return {data_ + begin, end - begin};
+  ReadPairSpan out(data_ + begin, end - begin);
+#if PIMWFA_CHECKED_VIEWS
+  // The sub-view continues the parent's borrow: same control block, same
+  // generation, same origin (the place the storage was first borrowed is
+  // the useful diagnostic, not the carve site).
+  out.control_ = control_;
+  out.generation_ = generation_;
+  out.origin_ = origin_;
+#endif
+  return out;
 }
 
-usize ReadPairSpan::max_pattern_length() const noexcept {
+ReadPairSpan ReadPairSpan::first(usize n) const {
+  // Clamp, don't throw: n is a sampling budget (see the header note).
+  return subspan(0, n < size_ ? n : size_);
+}
+
+usize ReadPairSpan::max_pattern_length() const PIMWFA_VIEW_NOEXCEPT {
+  check_valid();
   usize longest = 0;
   for (usize i = 0; i < size_; ++i) {
     longest = std::max(longest, data_[i].pattern.size());
@@ -28,7 +53,8 @@ usize ReadPairSpan::max_pattern_length() const noexcept {
   return longest;
 }
 
-usize ReadPairSpan::max_text_length() const noexcept {
+usize ReadPairSpan::max_text_length() const PIMWFA_VIEW_NOEXCEPT {
+  check_valid();
   usize longest = 0;
   for (usize i = 0; i < size_; ++i) {
     longest = std::max(longest, data_[i].text.size());
@@ -36,7 +62,8 @@ usize ReadPairSpan::max_text_length() const noexcept {
   return longest;
 }
 
-u64 ReadPairSpan::total_bases() const noexcept {
+u64 ReadPairSpan::total_bases() const PIMWFA_VIEW_NOEXCEPT {
+  check_valid();
   u64 total = 0;
   for (usize i = 0; i < size_; ++i) {
     total += data_[i].pattern.size() + data_[i].text.size();
@@ -45,6 +72,7 @@ u64 ReadPairSpan::total_bases() const noexcept {
 }
 
 ReadPairSet ReadPairSpan::to_owned() const {
+  check_valid();
   ReadPairSet out;
   out.reserve(size_);
   for (usize i = 0; i < size_; ++i) out.add(data_[i]);

@@ -5,10 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <thread>
 
 #include "align/batch_engine.hpp"
 #include "align/hybrid.hpp"
@@ -412,6 +416,53 @@ TEST(BatchEngine, RunShardedTruncatesAtFirstPartiallyMaterializedShard) {
   }
 }
 
+TEST(BatchEngine, RunShardedDrainsEveryShardBeforeRethrowing) {
+  // One poison shard (recognized by its first pair's pattern) throws
+  // immediately; the healthy shards take ~30ms each. run_sharded must
+  // drain them all before rethrowing - the caller's span storage is only
+  // guaranteed alive until run_sharded returns, so a shard still running
+  // after the rethrow would be a use-after-free in waiting.
+  class PoisonShardBackend final : public align::BatchAligner {
+   public:
+    explicit PoisonShardBackend(std::atomic<usize>& healthy_completed)
+        : healthy_completed_(healthy_completed) {}
+    BatchResult run(seq::ReadPairSpan batch, align::AlignmentScope,
+                    ThreadPool*) override {
+      if (batch.pattern(0) == "XXXX") throw InvalidArgument("poison shard");
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      BatchResult out;
+      out.backend = name();
+      out.results.resize(batch.size());
+      out.timings.pairs = batch.size();
+      out.timings.materialized = batch.size();
+      ++healthy_completed_;
+      return out;
+    }
+    std::string name() const override { return "poison"; }
+
+   private:
+    std::atomic<usize>& healthy_completed_;
+  };
+
+  constexpr usize kShards = 4;
+  seq::ReadPairSet batch;
+  batch.add({"XXXX", "XXXX"});  // lands in shard 0, the first to be .get()
+  for (usize i = 1; i < 2 * kShards; ++i) batch.add({"ACGT", "ACGT"});
+
+  std::atomic<usize> healthy_completed{0};
+  align::BatchEngine engine(
+      std::make_unique<PoisonShardBackend>(healthy_completed),
+      /*max_in_flight=*/kShards, /*workers=*/0);
+  EXPECT_THROW(
+      engine.run_sharded(batch, AlignmentScope::kScoreOnly, kShards),
+      InvalidArgument);
+  // At the moment the rethrow reached us, every healthy shard had already
+  // completed: nothing is left running against the caller's storage.
+  EXPECT_EQ(healthy_completed.load(), kShards - 1);
+  engine.wait_idle();
+  EXPECT_EQ(engine.in_flight(), 0u);
+}
+
 TEST(BatchEngine, BackendExceptionsPropagateThroughTheFuture) {
   class ThrowingBackend final : public align::BatchAligner {
    public:
@@ -441,6 +492,30 @@ TEST(BatchOptions, ValidateRejectsBadFields) {
   options.penalties.mismatch = 0;
   EXPECT_THROW(options.validate(), InvalidArgument);
   EXPECT_NO_THROW(BatchOptions{}.validate());
+}
+
+// Regression: hybrid_calibration_pairs == 0 would divide the measured
+// sample time by zero - a NaN per-pair cost and a garbage split. It must
+// be rejected at every entry: validate(), the hybrid's constructor (the
+// registry path), and set_options().
+TEST(BatchOptions, ZeroCalibrationPairsIsRejectedEverywhere) {
+  BatchOptions options = tiny_options();
+  options.hybrid_calibration_pairs = 0;
+  EXPECT_THROW(options.validate(), InvalidArgument);
+  EXPECT_THROW(align::HybridBatchAligner{options}, InvalidArgument);
+  align::HybridBatchAligner hybrid(tiny_options());
+  EXPECT_THROW(hybrid.set_options(options), InvalidArgument);
+  // The calibrated (measuring, non-override) path still works with the
+  // minimum legal value.
+  options.hybrid_calibration_pairs = 1;
+  options.cpu_per_pair_seconds = 0;  // force a real measurement
+  align::HybridBatchAligner minimal(options);
+  const seq::ReadPairSet batch = small_batch(24);
+  const align::HybridBatchAligner::Plan plan =
+      minimal.plan(batch, AlignmentScope::kFull);
+  EXPECT_EQ(plan.cpu_pairs + plan.pim_pairs, batch.size());
+  EXPECT_TRUE(std::isfinite(plan.cpu_per_pair_seconds));
+  EXPECT_GT(plan.cpu_per_pair_seconds, 0.0);
 }
 
 }  // namespace

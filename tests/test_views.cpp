@@ -115,6 +115,28 @@ TEST(ReadPairSpan, SubspanBoundsMisuseThrows) {
   EXPECT_THROW(view.subspan(2, 9).subspan(0, 8), InvalidArgument);
 }
 
+// The unified bounds policy, in one place: subspan(begin, end) is an
+// *exact work assignment* - a sub-batch handed to a backend or a shard -
+// so out-of-range indices are a caller bug and throw (a clamped
+// assignment would silently drop pairs from the batch). first(n) is a
+// *sampling budget* - "up to n pairs for calibration" - so clamping to
+// the batch is the contract, not leniency: a batch smaller than the
+// budget is a valid sample of itself.
+TEST(ReadPairSpan, BoundsPolicySubspanThrowsWhereFirstClamps) {
+  const ReadPairSet set = small_batch(6);
+  const ReadPairSpan view(set);
+
+  EXPECT_THROW(view.subspan(0, 7), InvalidArgument);
+  EXPECT_THROW(view.subspan(7, 7), InvalidArgument);
+
+  EXPECT_TRUE(view.first(0).empty());
+  EXPECT_EQ(view.first(6).size(), 6u);   // budget == batch
+  EXPECT_EQ(view.first(7).size(), 6u);   // budget > batch: clamped
+  EXPECT_EQ(view.first(static_cast<usize>(-1)).size(), 6u);
+  // The clamped sample aliases the same storage (still zero-copy).
+  EXPECT_EQ(view.first(99).data(), view.data());
+}
+
 // Regression for the ridden-along fix: ReadPairSet::slice used to
 // silently clamp an inverted range to empty; bounds misuse now throws.
 TEST(ReadPairSet, SliceBoundsMisuseThrowsInsteadOfClamping) {
