@@ -1,0 +1,269 @@
+// Streaming alignment service: a long-lived, bounded-memory front-end
+// over align::BatchEngine.
+//
+// The batch stack to date is one-shot: materialize a ReadPairSet, submit,
+// wait. AlignService is the read-mapper-shaped consumer the ROADMAP
+// targets instead - callers stream in small requests (a few pairs each)
+// from any thread and get a future per request, while the service forms
+// engine-sized batches behind the scenes:
+//
+//   ingest --> [admission watermark] --> pending queue
+//          --> [batcher thread] forms batches by size/latency watermark,
+//              fills a recycled ReadPairSet arena, submits to the engine
+//          --> [completer thread] resolves per-request futures from the
+//              batch result, recycles the arena
+//
+// Memory stays bounded end to end: admission blocks (submit_wait) or
+// refuses (try_submit) above a high-watermark of admitted-but-unfinished
+// pairs/bases, and batch storage lives in a fixed ring of generation-
+// counted ReadPairSet arenas - an arena is cleared and reused only after
+// its batch future resolved, and under PIMWFA_CHECKED_VIEWS any recycle
+// that raced a live borrow surfaces as LifetimeError instead of a
+// use-after-free.
+//
+// Requests carry an optional deadline and can be cancelled; either
+// resolves that request's future exceptionally (DeadlineExpired /
+// RequestCancelled) without failing the other requests co-batched with
+// it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "align/batch_engine.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "seq/dataset.hpp"
+
+namespace pimwfa::align {
+
+// Thrown through a request future when the request was cancelled before
+// its results were delivered.
+class RequestCancelled : public Error {
+ public:
+  explicit RequestCancelled(const std::string& what) : Error(what) {}
+};
+
+// Thrown through a request future when the request's deadline passed
+// before its results were delivered.
+class DeadlineExpired : public Error {
+ public:
+  explicit DeadlineExpired(const std::string& what) : Error(what) {}
+};
+
+struct ServiceOptions {
+  // The engine built underneath (backend registry key, batch options,
+  // max_in_flight, workers).
+  BatchEngineOptions engine;
+  AlignmentScope scope = AlignmentScope::kScoreOnly;
+
+  // Batch formation: flush the forming batch once it holds this many
+  // pairs, or once its oldest request has waited this long - whichever
+  // fires first. The delay watermark bounds request latency under trickle
+  // load; the size watermark keeps batches engine-sized under heavy load.
+  usize max_batch_pairs = 1024;
+  std::chrono::milliseconds max_batch_delay{5};
+
+  // Admission high-watermark on pairs admitted but not yet resolved
+  // (pending + forming + in flight): submit_wait blocks while admitting
+  // would exceed it, try_submit refuses. A request larger than the whole
+  // watermark is still admitted when the service is empty, so oversize
+  // requests make progress instead of wedging.
+  usize max_queued_pairs = 8192;
+  // The same watermark in total bases (pattern + text); 0 = unlimited.
+  u64 max_queued_bases = 0;
+
+  // ReadPairSet arenas in the recycling ring - the bound on resident
+  // batch storage. 0 = engine.max_in_flight + 1 (every in-flight batch
+  // owns an arena while the next one forms).
+  usize arenas = 0;
+
+  // Throws InvalidArgument on out-of-range fields.
+  void validate() const;
+};
+
+// Monotonic counters + latency quantiles, snapshotted by stats().
+struct ServiceStats {
+  usize submitted = 0;   // requests admitted
+  usize completed = 0;   // futures resolved with results
+  usize cancelled = 0;   // resolved with RequestCancelled
+  usize expired = 0;     // resolved with DeadlineExpired
+  usize failed = 0;      // resolved with a batch/backend error
+  usize rejected = 0;    // try_submit refusals (never admitted)
+  usize batches = 0;     // batches dispatched to the engine
+  usize peak_queued_pairs = 0;    // high-water of admitted-but-unresolved
+  usize peak_resident_pairs = 0;  // high-water of pairs across all arenas
+  double latency_p50_ms = 0;  // admission -> results, completed requests
+  double latency_p99_ms = 0;
+};
+
+namespace detail {
+
+// One admitted request. The pairs are owned here until the batcher moves
+// them into an arena; the promise is resolved exactly once, by whichever
+// of the batcher (swept dead), completer (batch resolved) or submit
+// error path reaches it first.
+struct ServiceRequest {
+  std::vector<seq::ReadPair> pairs;
+  usize pair_count = 0;
+  u64 bases = 0;
+  std::promise<std::vector<AlignmentResult>> promise;
+  std::chrono::steady_clock::time_point enqueue_time{};
+  // time_point::max() = no deadline.
+  std::chrono::steady_clock::time_point deadline{};
+  std::atomic<bool> cancelled{false};
+  std::atomic<bool> resolved{false};
+};
+
+// A request's slice of the batch it was co-batched into.
+struct BatchShare {
+  std::shared_ptr<ServiceRequest> request;
+  usize offset = 0;  // first result index within the batch
+  usize count = 0;
+};
+
+struct InFlightBatch {
+  std::future<BatchResult> future;
+  usize arena = 0;  // arenas_ index holding this batch's pairs
+  usize pairs = 0;
+  std::vector<BatchShare> shares;
+};
+
+}  // namespace detail
+
+// Caller-side handle to one submitted request. Move-only; get() blocks
+// for (and rethrows from) this request's slice of its batch.
+class RequestHandle {
+ public:
+  RequestHandle() = default;
+
+  bool valid() const noexcept { return request_ != nullptr; }
+
+  // Blocks until resolved; returns per-pair results in submission order
+  // or rethrows (RequestCancelled, DeadlineExpired, backend errors).
+  std::vector<AlignmentResult> get() { return future_.get(); }
+  void wait() const { future_.wait(); }
+
+  // Request cancellation. Best-effort: returns true when the request had
+  // not yet resolved (it will resolve with RequestCancelled no later
+  // than its batch's completion), false when results or an error were
+  // already delivered.
+  bool cancel() noexcept;
+
+ private:
+  friend class AlignService;
+  std::shared_ptr<detail::ServiceRequest> request_;
+  std::future<std::vector<AlignmentResult>> future_;
+};
+
+class AlignService {
+ public:
+  // Backend resolved through the registry by options.engine.backend.
+  explicit AlignService(ServiceOptions options);
+  // Injects a caller-built backend (tests, custom backends);
+  // options.engine.backend is ignored.
+  AlignService(std::unique_ptr<BatchAligner> backend, ServiceOptions options);
+  // Flushes the forming batch, resolves every admitted request, then
+  // tears the threads and engine down.
+  ~AlignService();
+
+  AlignService(const AlignService&) = delete;
+  AlignService& operator=(const AlignService&) = delete;
+
+  // Non-blocking admission: nullopt (and a `rejected` tick) when
+  // admitting would cross the queue watermark. The pairs are moved in;
+  // no caller storage is borrowed.
+  std::optional<RequestHandle> try_submit(
+      std::vector<seq::ReadPair> pairs,
+      std::chrono::steady_clock::time_point deadline =
+          std::chrono::steady_clock::time_point::max());
+
+  // Blocking admission: waits (backpressure) until the request fits
+  // under the watermark, then admits it.
+  RequestHandle submit_wait(
+      std::vector<seq::ReadPair> pairs,
+      std::chrono::steady_clock::time_point deadline =
+          std::chrono::steady_clock::time_point::max());
+
+  // Ask the batcher to dispatch the forming batch now instead of waiting
+  // for a watermark (returns immediately).
+  void flush();
+
+  // Flush, then block until every admitted request has resolved.
+  void drain();
+
+  ServiceStats stats() const;
+
+  BatchEngine& engine() noexcept { return *engine_; }
+  const BatchEngine& engine() const noexcept { return *engine_; }
+
+ private:
+  void start();
+  void batcher_loop();
+  void completer_loop();
+
+  std::shared_ptr<detail::ServiceRequest> make_request(
+      std::vector<seq::ReadPair> pairs,
+      std::chrono::steady_clock::time_point deadline) const;
+  // All of the below require mutex_ held.
+  bool admissible(usize pair_count, u64 bases) const;
+  RequestHandle admit(std::shared_ptr<detail::ServiceRequest> request);
+  bool resolve_if_dead(detail::ServiceRequest& request);
+  void finish_exceptionally(detail::ServiceRequest& request,
+                            std::exception_ptr error, usize* counter);
+  void release_counters(detail::ServiceRequest& request);
+  void recycle_arena(usize arena, usize pairs);
+  // Fills an arena from `forming`, submits it, queues the in-flight
+  // record; unlocks (and re-locks) `lock` around the engine hand-off.
+  void dispatch(std::unique_lock<std::mutex>& lock,
+                std::vector<detail::BatchShare>& forming);
+
+  ServiceOptions options_;
+  std::unique_ptr<BatchEngine> engine_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;       // batcher <- admission/flush/stop
+  std::condition_variable admission_cv_;  // producers <- counter release
+  std::condition_variable arena_cv_;      // batcher <- arena recycled
+  std::condition_variable inflight_cv_;   // completer <- batch dispatched
+  std::condition_variable drain_cv_;      // drain() <- last resolution
+
+  std::deque<std::shared_ptr<detail::ServiceRequest>> pending_;
+  std::deque<detail::InFlightBatch> inflight_;
+  std::vector<seq::ReadPairSet> arenas_;
+  std::deque<usize> free_arenas_;
+
+  bool stop_ = false;
+  bool flush_requested_ = false;
+  bool batcher_done_ = false;
+
+  usize queued_pairs_ = 0;  // admitted but unresolved
+  u64 queued_bases_ = 0;
+  usize unresolved_ = 0;
+  usize resident_pairs_ = 0;  // pairs currently held across arenas
+
+  // stats
+  usize submitted_ = 0;
+  usize completed_ = 0;
+  usize cancelled_ = 0;
+  usize expired_ = 0;
+  usize failed_ = 0;
+  usize rejected_ = 0;
+  usize batches_ = 0;
+  usize peak_queued_pairs_ = 0;
+  usize peak_resident_pairs_ = 0;
+  SampleSet latency_ms_;
+
+  std::thread batcher_;
+  std::thread completer_;
+};
+
+}  // namespace pimwfa::align

@@ -5,6 +5,13 @@
 #include "common/check.hpp"
 
 namespace pimwfa {
+namespace {
+
+// Which pool (if any) owns the current thread. Set for the lifetime of
+// worker_loop; parallel_for consults it to detect nested invocation.
+thread_local const ThreadPool* current_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(usize threads) {
   PIMWFA_ARG_CHECK(threads >= 1, "thread pool needs at least one worker");
@@ -57,8 +64,21 @@ std::vector<std::pair<usize, usize>> ThreadPool::partition(usize n,
   return ranges;
 }
 
+bool ThreadPool::on_worker_thread() const noexcept {
+  return current_worker_pool == this;
+}
+
 void ThreadPool::parallel_for(usize n,
                               const std::function<void(usize, usize)>& body) {
+  if (n == 0) return;
+  if (on_worker_thread()) {
+    // A worker calling back into its own pool would block in future.get()
+    // on chunks that may never be scheduled (every peer can be blocked the
+    // same way). The caller's slot is itself pool capacity, so the
+    // deadlock-free option is to run the whole range inline on it.
+    body(0, n);
+    return;
+  }
   const std::vector<std::pair<usize, usize>> ranges =
       partition(n, workers_.size());
   std::vector<std::future<void>> futures;
@@ -80,6 +100,7 @@ void ThreadPool::parallel_for(usize n,
 }
 
 void ThreadPool::worker_loop() {
+  current_worker_pool = this;
   while (true) {
     std::packaged_task<void()> task;
     {

@@ -36,8 +36,14 @@ class ThreadPool {
 
   // Statically partition [0, n) into min(n, size()) chunks and run
   // body(begin, end) on the pool; blocks until done. Exceptions from the
-  // body are rethrown (first one wins).
+  // body are rethrown (first one wins). Safe to call from one of this
+  // pool's own workers: the caller already occupies a worker slot, so
+  // queueing chunks and blocking on them could leave no worker free to
+  // run them - nested calls run body(0, n) inline instead.
   void parallel_for(usize n, const std::function<void(usize, usize)>& body);
+
+  // True iff the calling thread is one of this pool's workers.
+  bool on_worker_thread() const noexcept;
 
   // Exact static partition of [0, n) into min(n, max_chunks) contiguous,
   // non-empty [begin, end) ranges whose sizes differ by at most one (the

@@ -76,6 +76,15 @@ class ReadPairSet {
     pairs_.reserve(n);
   }
 
+  // Drops all pairs but keeps the allocated capacity, so a recycled
+  // arena (align::AlignService's ring) refills without reallocating.
+  // Bumps the generation: spans over the old contents fail
+  // deterministically instead of reading recycled storage.
+  void clear() noexcept {
+    invalidate_views();
+    pairs_.clear();
+  }
+
   // Generation provenance, carried through serialization (0/NaN if unknown).
   u64 seed = 0;
   double error_rate = 0.0;

@@ -21,32 +21,159 @@ std::ofstream open_output(const std::string& path) {
   return os;
 }
 
+// Budget meaning "the rest of the stream" for the whole-file readers.
+constexpr usize kAllRecords = static_cast<usize>(-1);
+
 }  // namespace
 
-std::vector<FastaRecord> read_fasta(std::istream& is) {
-  std::vector<FastaRecord> records;
+usize FastaChunkReader::next(std::vector<FastaRecord>& out,
+                             usize max_records) {
+  if (done_ || max_records == 0) return 0;
+  usize appended = 0;
   std::string line;
-  FastaRecord current;
-  bool in_record = false;
-  usize line_no = 0;
-  while (std::getline(is, line)) {
-    ++line_no;
+  while (appended < max_records) {
+    if (!std::getline(*is_, line)) {
+      done_ = true;
+      if (in_record_) {
+        out.push_back(std::move(current_));
+        in_record_ = false;
+        ++appended;
+      }
+      break;
+    }
+    ++line_no_;
     const std::string_view trimmed = trim(line);
     if (trimmed.empty()) continue;
     if (trimmed.front() == '>') {
-      if (in_record) records.push_back(std::move(current));
-      current = FastaRecord{};
-      current.name = std::string(trim(trimmed.substr(1)));
-      in_record = true;
+      // The previous record is complete; the new header becomes reader
+      // state, so a budget reached here loses nothing.
+      if (in_record_) {
+        out.push_back(std::move(current_));
+        ++appended;
+      }
+      current_ = FastaRecord{};
+      current_.name = std::string(trim(trimmed.substr(1)));
+      in_record_ = true;
     } else {
-      if (!in_record) {
-        throw IoError("FASTA line " + std::to_string(line_no) +
+      if (!in_record_) {
+        throw IoError("FASTA line " + std::to_string(line_no_) +
                       ": sequence data before any '>' header");
       }
-      current.sequence += std::string(trimmed);
+      current_.sequence += std::string(trimmed);
     }
   }
-  if (in_record) records.push_back(std::move(current));
+  return appended;
+}
+
+usize FastqChunkReader::next(std::vector<FastqRecord>& out,
+                             usize max_records) {
+  if (done_ || max_records == 0) return 0;
+  usize appended = 0;
+  std::string header;
+  std::string sequence;
+  std::string plus;
+  std::string quality;
+  // Every line actually consumed bumps line_no_ exactly once, so the
+  // numbers below stay exact no matter how many blank lines were skipped.
+  const auto next_line = [&](std::string& into) {
+    if (!std::getline(*is_, into)) return false;
+    ++line_no_;
+    return true;
+  };
+  while (appended < max_records) {
+    if (!next_line(header)) {
+      done_ = true;
+      break;
+    }
+    const std::string_view header_trimmed = trim(header);
+    if (header_trimmed.empty()) continue;  // blank line between records
+    const usize header_line = line_no_;
+    if (header_trimmed.front() != '@') {
+      throw IoError("FASTQ line " + std::to_string(header_line) +
+                    ": expected '@' header");
+    }
+    if (!next_line(sequence) || !next_line(plus)) {
+      throw IoError("FASTQ: truncated record starting at line " +
+                    std::to_string(header_line));
+    }
+    const usize plus_line = line_no_;
+    if (!next_line(quality)) {
+      throw IoError("FASTQ: truncated record starting at line " +
+                    std::to_string(header_line));
+    }
+    // Trim *before* validating: the stored record is trimmed, so a CRLF
+    // '\r' (or stray trailing spaces) on only one of the two lines must
+    // not change what the length check sees.
+    const std::string_view sequence_trimmed = trim(sequence);
+    const std::string_view plus_trimmed = trim(plus);
+    const std::string_view quality_trimmed = trim(quality);
+    if (plus_trimmed.empty() || plus_trimmed.front() != '+') {
+      throw IoError("FASTQ line " + std::to_string(plus_line) +
+                    ": expected '+' separator");
+    }
+    if (sequence_trimmed.size() != quality_trimmed.size()) {
+      throw IoError("FASTQ record '" +
+                    std::string(trim(header_trimmed.substr(1))) + "' (line " +
+                    std::to_string(header_line) +
+                    "): sequence/quality length mismatch");
+    }
+    out.push_back({std::string(trim(header_trimmed.substr(1))),
+                   std::string(sequence_trimmed),
+                   std::string(quality_trimmed)});
+    ++appended;
+  }
+  return appended;
+}
+
+usize SeqPairChunkReader::next(std::vector<ReadPair>& out, usize max_pairs) {
+  if (done_ || max_pairs == 0) return 0;
+  usize appended = 0;
+  std::string line;
+  while (appended < max_pairs) {
+    if (!std::getline(*is_, line)) {
+      done_ = true;
+      if (have_pattern_) {
+        throw IoError(".seq line " + std::to_string(pending_line_) +
+                      ": dangling '>' pattern without '<' text");
+      }
+      break;
+    }
+    ++line_no_;
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed.front() == '>') {
+      if (have_pattern_) {
+        throw IoError(".seq line " + std::to_string(line_no_) +
+                      ": two consecutive '>' pattern lines");
+      }
+      pending_pattern_ = std::string(trimmed.substr(1));
+      pending_line_ = line_no_;
+      have_pattern_ = true;
+    } else if (trimmed.front() == '<') {
+      if (!have_pattern_) {
+        throw IoError(".seq line " + std::to_string(line_no_) +
+                      ": '<' text line without preceding '>' pattern");
+      }
+      out.push_back(
+          {std::move(pending_pattern_), std::string(trimmed.substr(1))});
+      have_pattern_ = false;
+      ++appended;
+    } else {
+      throw IoError(".seq line " + std::to_string(line_no_) +
+                    ": expected '>' or '<' prefix");
+    }
+  }
+  return appended;
+}
+
+std::vector<FastaRecord> read_fasta(std::istream& is) {
+  // The chunked reader with an unbounded budget *is* the whole-file
+  // parse - one code path, so chunked and whole-file results cannot
+  // diverge.
+  std::vector<FastaRecord> records;
+  FastaChunkReader reader(is);
+  while (reader.next(records, kAllRecords) > 0) {
+  }
   return records;
 }
 
@@ -77,35 +204,8 @@ void write_fasta_file(const std::string& path,
 
 std::vector<FastqRecord> read_fastq(std::istream& is) {
   std::vector<FastqRecord> records;
-  std::string header;
-  std::string sequence;
-  std::string plus;
-  std::string quality;
-  usize line_no = 0;
-  while (std::getline(is, header)) {
-    ++line_no;
-    if (trim(header).empty()) continue;
-    if (header.empty() || header[0] != '@') {
-      throw IoError("FASTQ line " + std::to_string(line_no) +
-                    ": expected '@' header");
-    }
-    if (!std::getline(is, sequence) || !std::getline(is, plus) ||
-        !std::getline(is, quality)) {
-      throw IoError("FASTQ: truncated record starting at line " +
-                    std::to_string(line_no));
-    }
-    line_no += 3;
-    if (plus.empty() || plus[0] != '+') {
-      throw IoError("FASTQ line " + std::to_string(line_no - 1) +
-                    ": expected '+' separator");
-    }
-    if (sequence.size() != quality.size()) {
-      throw IoError("FASTQ record '" + header.substr(1) +
-                    "': sequence/quality length mismatch");
-    }
-    records.push_back({std::string(trim(header.substr(1))),
-                       std::string(trim(sequence)),
-                       std::string(trim(quality))});
+  FastqChunkReader reader(is);
+  while (reader.next(records, kAllRecords) > 0) {
   }
   return records;
 }
@@ -129,34 +229,12 @@ void write_fastq(std::ostream& os, const std::vector<FastqRecord>& records) {
 
 ReadPairSet read_seq_pairs(std::istream& is) {
   ReadPairSet set;
-  std::string line;
-  usize line_no = 0;
-  std::string pending_pattern;
-  bool have_pattern = false;
-  while (std::getline(is, line)) {
-    ++line_no;
-    const std::string_view trimmed = trim(line);
-    if (trimmed.empty()) continue;
-    if (trimmed.front() == '>') {
-      if (have_pattern) {
-        throw IoError(".seq line " + std::to_string(line_no) +
-                      ": two consecutive '>' pattern lines");
-      }
-      pending_pattern = std::string(trimmed.substr(1));
-      have_pattern = true;
-    } else if (trimmed.front() == '<') {
-      if (!have_pattern) {
-        throw IoError(".seq line " + std::to_string(line_no) +
-                      ": '<' text line without preceding '>' pattern");
-      }
-      set.add({std::move(pending_pattern), std::string(trimmed.substr(1))});
-      have_pattern = false;
-    } else {
-      throw IoError(".seq line " + std::to_string(line_no) +
-                    ": expected '>' or '<' prefix");
-    }
+  std::vector<ReadPair> chunk;
+  SeqPairChunkReader reader(is);
+  while (reader.next(chunk, kAllRecords) > 0) {
+    for (auto& pair : chunk) set.add(std::move(pair));
+    chunk.clear();
   }
-  if (have_pattern) throw IoError(".seq: dangling pattern without text");
   return set;
 }
 

@@ -31,6 +31,79 @@ struct FastqRecord {
   bool operator==(const FastqRecord&) const = default;
 };
 
+// --- incremental (chunked) readers ---------------------------------------
+//
+// Parse a stream in bounded chunks instead of materializing the whole
+// file: each next() call appends up to `max_records` *complete* records
+// to `out` and returns how many were appended (0 means the stream is
+// exhausted). Chunk boundaries are invisible in the output - parser
+// state (a FASTA record whose lines straddle the budget, a pending ".seq"
+// pattern, the running line counter) carries across calls, so
+// concatenating every chunk yields exactly what the whole-file reader
+// returns; the whole-file readers below are implemented on top of these.
+// This is what a streaming consumer (align::AlignService) ingests from:
+// resident memory is bounded by the chunk budget, not the file size.
+//
+// Errors throw IoError with exact 1-based line numbers (the counter
+// includes skipped blank lines). A reader that threw is spent; construct
+// a fresh one to re-parse.
+
+class FastaChunkReader {
+ public:
+  explicit FastaChunkReader(std::istream& is) : is_(&is) {}
+
+  // Appends up to `max_records` complete records; returns the number
+  // appended. A record only completes at the next '>' header or EOF, so
+  // multi-line sequences never split across chunks.
+  usize next(std::vector<FastaRecord>& out, usize max_records);
+
+  // True once the stream is exhausted (further next() calls append 0).
+  bool done() const noexcept { return done_; }
+
+ private:
+  std::istream* is_;
+  FastaRecord current_{};
+  bool in_record_ = false;
+  bool done_ = false;
+  usize line_no_ = 0;
+};
+
+class FastqChunkReader {
+ public:
+  explicit FastqChunkReader(std::istream& is) : is_(&is) {}
+
+  // Appends up to `max_records` records (4 lines each; blank lines
+  // between records are skipped); returns the number appended.
+  usize next(std::vector<FastqRecord>& out, usize max_records);
+
+  bool done() const noexcept { return done_; }
+
+ private:
+  std::istream* is_;
+  bool done_ = false;
+  usize line_no_ = 0;
+};
+
+class SeqPairChunkReader {
+ public:
+  explicit SeqPairChunkReader(std::istream& is) : is_(&is) {}
+
+  // Appends up to `max_pairs` (pattern, text) pairs; returns the number
+  // appended. A '>' pattern whose '<' text lies beyond the budget is held
+  // as reader state, never emitted half-finished.
+  usize next(std::vector<ReadPair>& out, usize max_pairs);
+
+  bool done() const noexcept { return done_; }
+
+ private:
+  std::istream* is_;
+  std::string pending_pattern_;
+  usize pending_line_ = 0;  // line of the held '>' (for the dangling error)
+  bool have_pattern_ = false;
+  bool done_ = false;
+  usize line_no_ = 0;
+};
+
 // FASTA. Multi-line sequences are concatenated.
 std::vector<FastaRecord> read_fasta(std::istream& is);
 std::vector<FastaRecord> read_fasta_file(const std::string& path);

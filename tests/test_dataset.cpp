@@ -207,6 +207,93 @@ TEST(Fastq, WriteReadRoundTrip) {
   EXPECT_EQ(read_fastq(ss), records);
 }
 
+// What a thrown IoError said (empty + test failure when nothing threw);
+// the line-number regression tests below assert the exact message.
+template <typename Fn>
+std::string io_error_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const IoError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected IoError";
+  return "";
+}
+
+// Regression: the length-mismatch check used to compare the raw getline
+// strings while storing trimmed ones. A CRLF '\r' on only one of the two
+// lines made raw lengths differ (4 vs 5) for a well-formed record.
+TEST(Fastq, CrlfOnOneLineOnlyAccepted) {
+  std::istringstream is("@r1\r\nACGT\r\n+\nIIII\n");
+  const auto records = read_fastq(is);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "r1");
+  EXPECT_EQ(records[0].sequence, "ACGT");
+  EXPECT_EQ(records[0].quality, "IIII");
+}
+
+// The dual bug: raw lengths coincide (5 == 5) while the stored trimmed
+// record is genuinely mismatched (4 vs 5) - used to be falsely accepted.
+TEST(Fastq, CrlfCannotMaskRealMismatch) {
+  std::istringstream is("@r1\nACGT\r\n+\nIIIII\n");
+  EXPECT_THROW(read_fastq(is), IoError);
+}
+
+TEST(Fastq, TrailingSpacesOnQualityAccepted) {
+  std::istringstream is("@r1\nACGT\n+\nIIII   \n");
+  const auto records = read_fastq(is);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].quality, "IIII");
+}
+
+// Regression: a leading-whitespace '@' header passed the blank-line skip
+// (which trims) but was then indexed untrimmed at header[0].
+TEST(Fastq, LeadingWhitespaceHeaderAccepted) {
+  std::istringstream is("  @r1\nACGT\n+\nIIII\n");
+  const auto records = read_fastq(is);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "r1");
+}
+
+// Regression: line numbers in parser errors must stay exact when blank
+// lines were skipped mid-file.
+TEST(Fastq, TruncatedRecordReportsHeaderLine) {
+  // Two blank lines, then the header on line 3; no quality line.
+  EXPECT_EQ(io_error_message([] {
+              std::istringstream is("\n\n@r1\nACGT\n+\n");
+              read_fastq(is);
+            }),
+            "FASTQ: truncated record starting at line 3");
+}
+
+TEST(Fastq, SeparatorErrorReportsExactLine) {
+  // Blank line 1, header line 2, sequence line 3, bad separator line 4.
+  EXPECT_EQ(io_error_message([] {
+              std::istringstream is("\n@r1\nACGT\nXIII\nIIII\n");
+              read_fastq(is);
+            }),
+            "FASTQ line 4: expected '+' separator");
+}
+
+TEST(Fastq, BadHeaderReportsExactLine) {
+  // A complete record (lines 1-4), a blank line 5, bad header line 6.
+  EXPECT_EQ(io_error_message([] {
+              std::istringstream is("@r1\nACGT\n+\nIIII\n\nr2\nTT\n+\n##\n");
+              read_fastq(is);
+            }),
+            "FASTQ line 6: expected '@' header");
+}
+
+TEST(Fasta, CrlfAndTrailingWhitespaceTrimmed) {
+  std::istringstream is(">r1\r\nACGT\r\nACGT  \n>r2  \nTT\r\n");
+  const auto records = read_fasta(is);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, "r1");
+  EXPECT_EQ(records[0].sequence, "ACGTACGT");
+  EXPECT_EQ(records[1].name, "r2");
+  EXPECT_EQ(records[1].sequence, "TT");
+}
+
 TEST(SeqPairs, ReadWriteRoundTrip) {
   const ReadPairSet set = fig1_dataset(9, 0.02);
   std::stringstream ss;
@@ -228,6 +315,29 @@ TEST(SeqPairs, RejectsMalformed) {
     std::istringstream is(">AA\n");
     EXPECT_THROW(read_seq_pairs(is), IoError);
   }
+}
+
+TEST(SeqPairs, CrlfAndTrailingWhitespaceTrimmed) {
+  std::istringstream is(">ACGT\r\n<ACCT  \r\n");
+  const ReadPairSet set = read_seq_pairs(is);
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set[0].pattern, "ACGT");
+  EXPECT_EQ(set[0].text, "ACCT");
+}
+
+TEST(SeqPairs, ErrorsReportExactLines) {
+  EXPECT_EQ(io_error_message([] {
+              // Pattern line 1, blank line 2, second pattern line 3.
+              std::istringstream is(">AA\n\n>CC\n");
+              read_seq_pairs(is);
+            }),
+            ".seq line 3: two consecutive '>' pattern lines");
+  EXPECT_EQ(io_error_message([] {
+              // Complete pair lines 1-2, dangling pattern line 3.
+              std::istringstream is(">AA\n<AC\n>CC\n");
+              read_seq_pairs(is);
+            }),
+            ".seq line 3: dangling '>' pattern without '<' text");
 }
 
 }  // namespace

@@ -121,6 +121,49 @@ TEST(ThreadPool, SubmitFuturePropagatesException) {
   EXPECT_THROW(future.get(), std::runtime_error);
 }
 
+// Regression: parallel_for called from one of the pool's own workers
+// used to queue chunks and block on their futures - with every worker
+// occupied the same way, the chunks could never run and the pool
+// deadlocked. Nested calls must run inline and complete.
+TEST(ThreadPool, NestedParallelForCompletes) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64);
+  std::vector<std::future<void>> futures;
+  // Saturate every worker with a task that itself calls parallel_for;
+  // before the inline fallback this deadlocked (and tripped the ctest
+  // timeout) as soon as two such tasks ran concurrently.
+  for (int task = 0; task < 4; ++task) {
+    futures.push_back(pool.submit([&pool, &hits] {
+      EXPECT_TRUE(pool.on_worker_thread());
+      pool.parallel_for(hits.size(), [&hits](usize begin, usize end) {
+        for (usize i = begin; i < end; ++i) ++hits[i];
+      });
+    }));
+  }
+  for (auto& f : futures) f.get();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 4);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesException) {
+  ThreadPool pool(1);
+  auto future = pool.submit([&pool] {
+    pool.parallel_for(8, [](usize begin, usize) {
+      if (begin == 0) throw std::runtime_error("nested boom");
+    });
+  });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, OnWorkerThreadDistinguishesPools) {
+  ThreadPool a(1);
+  ThreadPool b(1);
+  EXPECT_FALSE(a.on_worker_thread());
+  a.submit([&] {
+      EXPECT_TRUE(a.on_worker_thread());
+      EXPECT_FALSE(b.on_worker_thread());
+    }).get();
+}
+
 TEST(ThreadPool, SizeReportsWorkers) {
   ThreadPool pool(5);
   EXPECT_EQ(pool.size(), 5u);
