@@ -48,6 +48,11 @@ int main(int argc, char** argv) {
       "cpu-t1", 8e-6, "deterministic CPU seconds/pair (0 = measure host)");
   const bool pipeline = cli.get_bool(
       "pipeline", false, "run the PIM side (and baseline) pipelined");
+  // On by default: the SIMD layer is bit-identical to the scalar loop, so
+  // the only effect here is the calibrator pricing the CPU side with the
+  // deterministic work-counter speedup + shrunken traffic floor.
+  const bool cpu_simd = cli.get_bool(
+      "cpu-simd", true, "route the CPU side through the SIMD layer");
   const bool score_only =
       cli.get_bool("score-only", false, "skip CIGAR backtraces");
   const std::string json =
@@ -78,6 +83,7 @@ int main(int argc, char** argv) {
   options.pim_pipeline = pipeline;
   options.virtual_pairs = modeled_pairs;
   options.cpu_per_pair_seconds = cpu_t1;
+  options.cpu_simd = cpu_simd;
 
   std::cout << "Hybrid CPU+PIM dispatch (" << with_commas(modeled_pairs)
             << " modeled pairs, 100bp, E=" << error_rate * 100 << "%, "
@@ -180,6 +186,7 @@ int main(int argc, char** argv) {
   report.set_param("error_rate", error_rate);
   report.set_param("cpu_t1", cpu_t1);
   report.set_param("pipeline", pipeline ? "true" : "false");
+  report.set_param("cpu_simd", cpu_simd ? "true" : "false");
   report.set_param("full_alignment", score_only ? "false" : "true");
   report.add_metric("cpu_alone_seconds", t.cpu_alone_seconds, "s");
   report.add_metric("pim_alone_seconds", t.pim_alone_seconds, "s");

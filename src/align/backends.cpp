@@ -17,6 +17,15 @@ void register_builtin_backends(BackendRegistry& registry) {
                [](const BatchOptions& options) {
                  return std::make_unique<cpu::CpuBatchAligner>(options);
                });
+  registry.add("cpu-simd",
+               "host WFA through the SIMD layer: runtime-dispatched "
+               "AVX2/SSE4.2 kernels + exact fast paths, bit-identical "
+               "to cpu",
+               [](const BatchOptions& options) {
+                 BatchOptions adjusted = options;
+                 adjusted.cpu_simd = true;
+                 return std::make_unique<cpu::CpuBatchAligner>(adjusted);
+               });
   registry.add("pim",
                "synchronous PIM execution: scatter / kernel / gather on "
                "the simulated UPMEM system",

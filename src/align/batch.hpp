@@ -40,6 +40,16 @@ struct BatchOptions {
   // measurement and becomes fully deterministic (used by the CI perf
   // gate); 0 measures and projects via CpuSystemModel::host_core_ratio.
   double cpu_per_pair_seconds = 0;
+  // Route the CPU backend through the SIMD layer (cpu/simd/): vectorized
+  // WFA kernels plus exact fast paths, bit-identical to the scalar path.
+  // The dispatch level is the highest the build and host support, unless
+  // the PIMWFA_FORCE_SIMD environment variable pins a lower one. This is
+  // what the "cpu-simd" registry entry sets, and the hybrid backend's
+  // CPU share inherits it.
+  bool cpu_simd = false;
+  // Fast-path gate: maximum edits a SIMD fast path may absorb before the
+  // pair falls back to the full WFA (0 = auto, see simd::FastPathConfig).
+  usize cpu_simd_edit_threshold = 0;
 
   // --- PIM backend -------------------------------------------------------
   // 0 = the paper's 2560-DPU system; otherwise a tiny(n) single-rank

@@ -40,6 +40,12 @@ BatchFlags parse_batch_flags(Cli& cli, const BatchFlags& defaults) {
   o.hybrid_cpu_fraction =
       cli.get_double("cpu-fraction", d.hybrid_cpu_fraction,
                      "hybrid CPU share (negative = calibrate)");
+  o.cpu_simd = cli.get_bool(
+      "cpu-simd", d.cpu_simd,
+      "route CPU-side alignment through the SIMD layer (cpu-simd)");
+  o.cpu_simd_edit_threshold = static_cast<usize>(cli.get_int(
+      "simd-threshold", static_cast<i64>(d.cpu_simd_edit_threshold),
+      "SIMD fast-path edit threshold (0 = auto)"));
 
   out.pairs = static_cast<usize>(
       cli.get_int("pairs", static_cast<i64>(defaults.pairs), "read pairs"));

@@ -34,7 +34,8 @@ struct BatchFlags {
 // parses them, with `defaults` filling every absent flag. Flags:
 //   --backend --threads --mismatch --gap-open --gap-extend
 //   --dpus --tasklets --packed --pipeline --chunks --sim-dpus
-//   --cpu-fraction --pairs --read-length --error-rate --seed --score-only
+//   --cpu-fraction --cpu-simd --simd-threshold
+//   --pairs --read-length --error-rate --seed --score-only
 // Throws InvalidArgument when --backend names an unregistered backend.
 BatchFlags parse_batch_flags(Cli& cli, const BatchFlags& defaults = {});
 

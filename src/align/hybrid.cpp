@@ -11,6 +11,7 @@
 #include "common/timer.hpp"
 #include "cpu/cpu_batch.hpp"
 #include "cpu/scaling_model.hpp"
+#include "cpu/simd/simd.hpp"
 #include "pim/host.hpp"
 
 namespace pimwfa::align {
@@ -39,36 +40,57 @@ HybridBatchAligner::Calibration HybridBatchAligner::calibrate(
 
   // --- CPU side: per-pair cost on one paper core + roofline projection --
   if (forced != 0.0) {
+    const usize sample_pairs =
+        std::min(materialized, options_.hybrid_calibration_pairs);
+    // Guarded by BatchOptions::validate (hybrid_calibration_pairs >= 1)
+    // and plan() (materialized > 0), but the division below turns a
+    // zero into a NaN per-pair cost and a garbage split, so fail loudly
+    // here too rather than trust every entry path forever.
+    PIMWFA_ARG_CHECK(sample_pairs >= 1,
+                     "hybrid CPU calibration needs at least one sample "
+                     "pair (hybrid_calibration_pairs="
+                         << options_.hybrid_calibration_pairs
+                         << ", materialized=" << materialized << ")");
+    // With the SIMD backend on the CPU side, price its effect from work
+    // counters (deterministic): the speedup scales the per-pair override,
+    // and the fast-path fraction shrinks the modeled traffic floor -
+    // which is what actually moves the split, the scalar CPU side being
+    // bandwidth-bound on the paper's machine.
+    double speedup = 1.0;
+    double traffic_per_pair = -1.0;
+    if (options_.cpu_simd) {
+      const cpu::simd::SpeedupModel model = cpu::simd::model_sample(
+          batch.first(sample_pairs), options_.penalties, scope,
+          cpu::simd::FastPathConfig{options_.cpu_simd_edit_threshold},
+          cpu::simd::active_level());
+      speedup = model.speedup;
+      traffic_per_pair = model.traffic_bytes_per_pair;
+    }
     double metadata_per_pair = 0;
     if (options_.cpu_per_pair_seconds > 0) {
-      out.cpu_per_pair_seconds = options_.cpu_per_pair_seconds;
+      out.cpu_per_pair_seconds = options_.cpu_per_pair_seconds / speedup;
     } else {
-      const usize sample_pairs =
-          std::min(materialized, options_.hybrid_calibration_pairs);
-      // Guarded by BatchOptions::validate (hybrid_calibration_pairs >= 1)
-      // and plan() (materialized > 0), but the division below turns a
-      // zero into a NaN per-pair cost and a garbage split, so fail loudly
-      // here too rather than trust every entry path forever.
-      PIMWFA_ARG_CHECK(sample_pairs >= 1,
-                       "hybrid CPU calibration needs at least one sample "
-                       "pair (hybrid_calibration_pairs="
-                           << options_.hybrid_calibration_pairs
-                           << ", materialized=" << materialized << ")");
-      const cpu::CpuBatchAligner calibrator(
-          cpu::CpuBatchOptions{options_.penalties, 1});
+      cpu::CpuBatchOptions calibration_options =
+          cpu::CpuBatchOptions::from(options_);
+      calibration_options.threads = 1;
+      const cpu::CpuBatchAligner calibrator(calibration_options);
       const cpu::CpuBatchResult measured =
           calibrator.align_batch(batch.first(sample_pairs), scope);
       const double per_pair_host =
           measured.seconds / static_cast<double>(sample_pairs);
+      // A SIMD calibrator measures the SIMD loop, so the speedup is
+      // already in the sample; never divide it in twice.
       out.cpu_per_pair_seconds = per_pair_host * cpu_system.host_core_ratio;
       metadata_per_pair = static_cast<double>(measured.work.allocated_bytes) /
                           static_cast<double>(sample_pairs);
     }
     const u64 metadata_bytes = static_cast<u64>(metadata_per_pair * n);
     out.cpu_traffic_bytes =
-        cpu::estimate_batch_traffic(pairs, metadata_bytes);
-    out.cpu_alone_seconds = cpu::project_batch_seconds(
-        cpu_system, out.cpu_per_pair_seconds * n, pairs, metadata_bytes,
+        traffic_per_pair >= 0
+            ? traffic_per_pair * n
+            : cpu::estimate_batch_traffic(pairs, metadata_bytes);
+    out.cpu_alone_seconds = cpu::project_batch_seconds_traffic(
+        cpu_system, out.cpu_per_pair_seconds * n, out.cpu_traffic_bytes,
         options_.cpu_model_threads);
   }
 

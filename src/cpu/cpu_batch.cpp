@@ -18,6 +18,8 @@ CpuBatchOptions CpuBatchOptions::from(const align::BatchOptions& batch) {
       batch.cpu_threads != 0
           ? batch.cpu_threads
           : std::max<usize>(std::thread::hardware_concurrency(), 1);
+  options.simd = batch.cpu_simd;
+  options.simd_edit_threshold = batch.cpu_simd_edit_threshold;
   return options;
 }
 
@@ -25,6 +27,9 @@ CpuBatchAligner::CpuBatchAligner(CpuBatchOptions options)
     : options_(options) {
   options_.penalties.validate();
   PIMWFA_ARG_CHECK(options_.threads >= 1, "need at least one thread");
+  // Resolve dispatch once, up front: a bad PIMWFA_FORCE_SIMD value fails
+  // at construction, not mid-batch on a worker thread.
+  if (options_.simd) simd_level_ = simd::active_level();
 }
 
 CpuBatchAligner::CpuBatchAligner(const align::BatchOptions& batch)
@@ -51,6 +56,21 @@ CpuBatchResult CpuBatchAligner::align_batch(seq::ReadPairSpan batch,
   std::mutex merge_mutex;
 
   auto worker = [&](usize begin, usize end) {
+    if (options_.simd) {
+      simd::SimdStats stats;
+      wfa::WfaCounters work;
+      u64 high_water = 0;
+      simd::align_range(batch, begin, end, options_.penalties, scope,
+                        simd_level_,
+                        simd::FastPathConfig{options_.simd_edit_threshold},
+                        out.results, stats, work, high_water);
+      std::lock_guard lock(merge_mutex);
+      out.work.merge(work);
+      out.simd.merge(stats);
+      out.allocator_high_water =
+          std::max(out.allocator_high_water, high_water);
+      return;
+    }
     wfa::WfaAligner aligner{options_.penalties};
     for (usize i = begin; i < end; ++i) {
       out.results[i] = aligner.align(batch.pattern(i), batch.text(i), scope);
@@ -118,8 +138,27 @@ align::BatchResult CpuBatchAligner::run(seq::ReadPairSpan batch,
           ? 0
           : static_cast<u64>(
                 static_cast<double>(native.work.allocated_bytes) * scale);
-  t.modeled_seconds = project_batch_seconds(system, t1_model, pairs,
-                                            metadata_bytes, model_threads_);
+  if (options_.simd) {
+    // SIMD projection: the deterministic cost model prices a sample's
+    // work counters to scale the calibrated per-pair override (measured
+    // t1 already includes the SIMD effects) and to shrink the traffic
+    // floor by the fast-path fraction - fast-path pairs never touch the
+    // wavefront arena, so their DRAM footprint is just their sequences.
+    const simd::SpeedupModel model = simd::model_sample(
+        batch.first(std::min<usize>(materialized, 128)), options_.penalties,
+        scope, simd::FastPathConfig{options_.simd_edit_threshold},
+        simd_level_);
+    const double t1_simd = per_pair_seconds_override_ > 0
+                               ? t1_model / model.speedup
+                               : t1_model;
+    t.modeled_seconds = project_batch_seconds_traffic(
+        system, t1_simd,
+        model.traffic_bytes_per_pair * static_cast<double>(pairs),
+        model_threads_);
+  } else {
+    t.modeled_seconds = project_batch_seconds(system, t1_model, pairs,
+                                              metadata_bytes, model_threads_);
+  }
   t.cpu_modeled_seconds = t.modeled_seconds;
   t.cpu_alone_seconds = t.modeled_seconds;
   return out;

@@ -12,6 +12,7 @@
 #include "align/aligner.hpp"
 #include "align/batch.hpp"
 #include "common/thread_pool.hpp"
+#include "cpu/simd/simd.hpp"
 #include "seq/view.hpp"
 #include "wfa/wavefront.hpp"
 
@@ -20,6 +21,11 @@ namespace pimwfa::cpu {
 struct CpuBatchOptions {
   align::Penalties penalties = align::Penalties::defaults();
   usize threads = 1;
+  // Route workers through the SIMD layer (vectorized kernels + exact
+  // fast paths; bit-identical results). The dispatch level is resolved
+  // once at construction via simd::active_level().
+  bool simd = false;
+  usize simd_edit_threshold = 0;  // 0 = auto (simd::FastPathConfig)
 
   // Translate the unified batch options (see align/batch.hpp).
   static CpuBatchOptions from(const align::BatchOptions& batch);
@@ -30,6 +36,7 @@ struct CpuBatchResult {
   double seconds = 0;           // measured wall time of the alignment loop
   wfa::WfaCounters work;        // merged over threads
   u64 allocator_high_water = 0; // max wavefront arena bytes over threads
+  simd::SimdStats simd;         // fast-path counters (simd mode only)
 };
 
 class CpuBatchAligner final : public align::BatchAligner {
@@ -57,12 +64,17 @@ class CpuBatchAligner final : public align::BatchAligner {
   align::BatchResult run(seq::ReadPairSpan batch,
                          align::AlignmentScope scope,
                          ThreadPool* pool = nullptr) override;
-  std::string name() const override { return "cpu"; }
+  std::string name() const override {
+    return options_.simd ? "cpu-simd" : "cpu";
+  }
 
   const CpuBatchOptions& options() const noexcept { return options_; }
+  // Dispatch level workers run at (kScalar unless options().simd).
+  simd::SimdLevel simd_level() const noexcept { return simd_level_; }
 
  private:
   CpuBatchOptions options_;
+  simd::SimdLevel simd_level_ = simd::SimdLevel::kScalar;
   // Unified-options fields consumed by run() (defaults when constructed
   // from native CpuBatchOptions).
   usize model_threads_ = 0;

@@ -98,4 +98,12 @@ double project_batch_seconds(const CpuSystemModel& system, double t1_seconds,
                              u64 pairs, u64 metadata_bytes,
                              usize model_threads);
 
+// Same projection with the traffic supplied directly instead of through
+// estimate_batch_traffic - for callers with their own traffic model (the
+// SIMD layer's fast paths skip the wavefront arena entirely, so their
+// per-pair footprint is far below the scalar backend's fixed bytes).
+double project_batch_seconds_traffic(const CpuSystemModel& system,
+                                     double t1_seconds, double traffic_bytes,
+                                     usize model_threads);
+
 }  // namespace pimwfa::cpu

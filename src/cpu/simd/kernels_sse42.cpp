@@ -1,0 +1,149 @@
+// SSE4.2 kernels. This translation unit is the only one compiled with
+// -msse4.2 (see cpu/simd/CMakeLists.txt); nothing here may be called
+// unless runtime dispatch confirmed the host supports it.
+#include "cpu/simd/kernel_table.hpp"
+
+#if PIMWFA_SIMD_LEVEL >= 1
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <bit>
+
+namespace pimwfa::cpu::simd {
+
+usize match_run_sse42(const char* a, const char* b, usize max) {
+  usize i = 0;
+  while (i + 16 <= max) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const u32 eq =
+        static_cast<u32>(_mm_movemask_epi8(_mm_cmpeq_epi8(va, vb)));
+    if (eq != 0xFFFFu) return i + std::countr_one(eq);
+    i += 16;
+  }
+  while (i < max && a[i] == b[i]) ++i;
+  return i;
+}
+
+u32 mismatch_mask_sse42(const char* a, const char* b, usize len) {
+  if (len == 16) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b));
+    const u32 eq =
+        static_cast<u32>(_mm_movemask_epi8(_mm_cmpeq_epi8(va, vb)));
+    return ~eq & 0xFFFFu;
+  }
+  u32 mask = 0;
+  for (usize i = 0; i < len; ++i) {
+    mask |= static_cast<u32>(a[i] != b[i]) << i;
+  }
+  return mask;
+}
+
+namespace {
+
+// Offsets of a source row at diagonals [k0+shift, k0+3+shift]. Null rows
+// read as the sentinel; real rows rely on the kWavefrontPad sentinel
+// slots around [lo, hi] (see wfa/kernels.hpp), so the +-1 shifted load is
+// in-bounds and reads kOffsetNone outside the live range.
+inline __m128i load_row(const wfa::Wavefront* w, i32 k0, i32 shift,
+                        __m128i none) {
+  if (w == nullptr) return none;
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+      w->offsets + (k0 - w->lo) + shift));
+}
+
+}  // namespace
+
+void compute_row_sse42(const wfa::ComputeRowArgs& args) {
+  // Vector blocks must stay where every live source row's +-1 shifted
+  // load lands inside its padded allocation: k0 >= src->lo - (pad - 1)
+  // and k0 + 4 <= src->hi + pad, i.e. k0 <= src->hi + pad - 4. Stores
+  // write real cells only, so blocks also need k0 + 3 <= args.hi.
+  constexpr i32 kLanes = 4;
+  const i32 pad = static_cast<i32>(wfa::kWavefrontPad);
+  i32 first = args.lo;
+  i32 last = args.hi - (kLanes - 1);
+  bool any_source = false;
+  for (const wfa::Wavefront* src :
+       {args.m_sub, args.m_gap, args.i_ext, args.d_ext}) {
+    if (src == nullptr) continue;
+    any_source = true;
+    first = std::max(first, src->lo - (pad - 1));
+    last = std::min(last, src->hi + pad - kLanes);
+  }
+  if (!any_source || last < first) {
+    wfa::compute_row_scalar(args);
+    return;
+  }
+
+  if (first > args.lo) {
+    wfa::ComputeRowArgs head = args;
+    head.hi = first - 1;
+    wfa::compute_row_scalar(head);
+  }
+
+  const __m128i none = _mm_set1_epi32(wfa::kOffsetNone);
+  const __m128i minus1 = _mm_set1_epi32(-1);
+  const __m128i one = _mm_set1_epi32(1);
+  const __m128i tl = _mm_set1_epi32(args.tl);
+  const __m128i pl = _mm_set1_epi32(args.pl);
+  const __m128i iota = _mm_setr_epi32(0, 1, 2, 3);
+
+  i32 k0 = first;
+  for (; k0 <= last; k0 += kLanes) {
+    const __m128i k = _mm_add_epi32(_mm_set1_epi32(k0), iota);
+
+    // I[s][k] = max(M[s-o-e][k-1], I[s-e][k-1]) + 1, trimmed to h <= tl.
+    __m128i ins = _mm_max_epi32(load_row(args.m_gap, k0, -1, none),
+                                load_row(args.i_ext, k0, -1, none));
+    const __m128i ins_reach = _mm_cmpgt_epi32(ins, minus1);
+    ins = _mm_add_epi32(ins, one);
+    const __m128i ins_ok =
+        _mm_andnot_si128(_mm_cmpgt_epi32(ins, tl), ins_reach);
+    ins = _mm_blendv_epi8(none, ins, ins_ok);
+
+    // D[s][k] = max(M[s-o-e][k+1], D[s-e][k+1]), trimmed to v <= pl.
+    __m128i del = _mm_max_epi32(load_row(args.m_gap, k0, 1, none),
+                                load_row(args.d_ext, k0, 1, none));
+    const __m128i del_reach = _mm_cmpgt_epi32(del, minus1);
+    const __m128i del_ok = _mm_andnot_si128(
+        _mm_cmpgt_epi32(_mm_sub_epi32(del, k), pl), del_reach);
+    del = _mm_blendv_epi8(none, del, del_ok);
+
+    // Mismatch predecessor M[s-x][k] + 1, trimmed to both bounds.
+    __m128i sub = load_row(args.m_sub, k0, 0, none);
+    const __m128i sub_reach = _mm_cmpgt_epi32(sub, minus1);
+    sub = _mm_add_epi32(sub, one);
+    const __m128i sub_bad =
+        _mm_or_si128(_mm_cmpgt_epi32(sub, tl),
+                     _mm_cmpgt_epi32(_mm_sub_epi32(sub, k), pl));
+    sub = _mm_blendv_epi8(none, sub, _mm_andnot_si128(sub_bad, sub_reach));
+
+    __m128i best = _mm_max_epi32(sub, _mm_max_epi32(ins, del));
+    best = _mm_blendv_epi8(none, best, _mm_cmpgt_epi32(best, minus1));
+
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(args.out_i->offsets +
+                                                (k0 - args.out_i->lo)),
+                     ins);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(args.out_d->offsets +
+                                                (k0 - args.out_d->lo)),
+                     del);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(args.out_m->offsets +
+                                                (k0 - args.out_m->lo)),
+                     best);
+  }
+
+  if (k0 <= args.hi) {
+    wfa::ComputeRowArgs tail = args;
+    tail.lo = k0;
+    wfa::compute_row_scalar(tail);
+  }
+}
+
+}  // namespace pimwfa::cpu::simd
+
+#endif  // PIMWFA_SIMD_LEVEL >= 1

@@ -11,23 +11,17 @@ inline Offset max3(Offset a, Offset b, Offset c) noexcept {
   return std::max(a, std::max(b, c));
 }
 
-// Mismatch-predecessor candidate for M[s][k]: advance one along the
-// diagonal, trimmed against the sequence bounds (h <= tlen, v <= plen).
-// Shared by compute_next and backtrace so both see identical values.
-inline Offset mismatch_candidate(Offset prev, i32 k, i32 plen,
-                                 i32 tlen) noexcept {
-  if (!offset_reachable(prev)) return kOffsetNone;
-  const Offset off = prev + 1;
-  if (off > tlen || off - k > plen) return kOffsetNone;
-  return off;
-}
-
 }  // namespace
 
 WfaAligner::WfaAligner(Options options, WavefrontAllocator* allocator)
-    : options_(options) {
+    : options_(options),
+      kernels_(options.kernels != nullptr ? *options.kernels
+                                          : scalar_kernels()) {
   options_.penalties.validate();
   PIMWFA_ARG_CHECK(options_.max_score >= 0, "max_score must be >= 0");
+  PIMWFA_ARG_CHECK(
+      kernels_.match_run != nullptr && kernels_.compute_row != nullptr,
+      "WfaKernels must provide both match_run and compute_row");
   if (allocator != nullptr) {
     allocator_ = allocator;
   } else {
@@ -43,7 +37,17 @@ Wavefront WfaAligner::new_wavefront(i32 lo, i32 hi) {
   wf.lo = lo;
   wf.hi = hi;
   const usize width = static_cast<usize>(hi - lo + 1);
-  wf.offsets = allocator_->allocate_array<Offset>(width);
+  // kWavefrontPad sentinel slots on each side let a vectorized compute_row
+  // read one slot past either end of a source row without masked loads
+  // (see kernels.hpp). The pad is implementation slack, so only the
+  // payload counts toward allocated_bytes.
+  Offset* base =
+      allocator_->allocate_array<Offset>(width + 2 * kWavefrontPad);
+  for (usize i = 0; i < kWavefrontPad; ++i) {
+    base[i] = kOffsetNone;
+    base[kWavefrontPad + width + i] = kOffsetNone;
+  }
+  wf.offsets = base + kWavefrontPad;
   counters_.allocated_bytes += width * sizeof(Offset);
   return wf;
 }
@@ -58,13 +62,13 @@ bool WfaAligner::extend_and_check(Wavefront& m, std::string_view pattern,
   for (i32 k = m.lo; k <= m.hi; ++k) {
     Offset off = m.offsets[k - m.lo];
     if (!offset_reachable(off)) continue;
-    i32 v = off - k;
-    while (v < plen && off < tlen &&
-           pattern[static_cast<usize>(v)] == text[static_cast<usize>(off)]) {
-      ++v;
-      ++off;
-      ++counters_.extend_matches;
-    }
+    const i32 v = off - k;
+    const usize remaining = static_cast<usize>(
+        std::min(plen - v, tlen - static_cast<i32>(off)));
+    const usize run =
+        kernels_.match_run(pattern.data() + v, text.data() + off, remaining);
+    off += static_cast<Offset>(run);
+    counters_.extend_matches += run;
     ++counters_.extend_probes;
     m.offsets[k - m.lo] = off;
     if (k == k_final && off >= tlen) done = true;
@@ -107,33 +111,20 @@ void WfaAligner::compute_next(i64 score, usize plen, usize tlen) {
   out.i = new_wavefront(lo, hi);
   out.d = new_wavefront(lo, hi);
 
-  auto at = [](const Wavefront* w, i32 k) {
-    return w != nullptr ? w->at(k) : kOffsetNone;
-  };
-  for (i32 k = lo; k <= hi; ++k) {
-    // I[s][k]: open from M[s-o-e][k-1] or extend I[s-e][k-1]; consumes one
-    // text base, so trim h <= tlen.
-    Offset ins = std::max(at(m_gap, k - 1), at(i_ext, k - 1));
-    if (offset_reachable(ins)) {
-      ++ins;
-      if (ins > tl) ins = kOffsetNone;
-    } else {
-      ins = kOffsetNone;
-    }
-    // D[s][k]: open from M[s-o-e][k+1] or extend D[s-e][k+1]; consumes one
-    // pattern base, so trim v = off - k <= plen.
-    Offset del = std::max(at(m_gap, k + 1), at(d_ext, k + 1));
-    if (!offset_reachable(del) || del - k > pl) del = kOffsetNone;
-    // M[s][k]: mismatch predecessor or close a gap opened this score.
-    const Offset sub = mismatch_candidate(at(m_sub, k), k, pl, tl);
-    Offset best = max3(sub, ins, del);
-    if (!offset_reachable(best)) best = kOffsetNone;
-
-    out.i.set(k, ins);
-    out.d.set(k, del);
-    out.m.set(k, best);
-    counters_.computed_cells += 3;
-  }
+  ComputeRowArgs args;
+  args.m_sub = live(m_sub) ? m_sub : nullptr;
+  args.m_gap = live(m_gap) ? m_gap : nullptr;
+  args.i_ext = live(i_ext) ? i_ext : nullptr;
+  args.d_ext = live(d_ext) ? d_ext : nullptr;
+  args.out_m = &out.m;
+  args.out_i = &out.i;
+  args.out_d = &out.d;
+  args.lo = lo;
+  args.hi = hi;
+  args.pl = pl;
+  args.tl = tl;
+  kernels_.compute_row(args);
+  counters_.computed_cells += 3 * static_cast<u64>(hi - lo + 1);
   ++counters_.wavefront_sets;
 }
 
@@ -141,7 +132,10 @@ namespace {
 
 // Narrow a component to the intersection of its range with [lo, hi] by
 // sliding the base pointer (allocation is untouched; the dropped cells are
-// simply no longer addressable).
+// no longer addressable through at()). The dropped cells are overwritten
+// with the kOffsetNone sentinel so the out-of-range overhang slots a
+// vectorized compute_row may read stay semantically "unreachable" (the
+// padding contract of kernels.hpp).
 void shrink_wavefront(Wavefront& w, i32 lo, i32 hi) {
   if (!w.exists) return;
   const i32 new_lo = std::max(w.lo, lo);
@@ -150,6 +144,8 @@ void shrink_wavefront(Wavefront& w, i32 lo, i32 hi) {
     w = Wavefront{};
     return;
   }
+  for (i32 k = w.lo; k < new_lo; ++k) w.set(k, kOffsetNone);
+  for (i32 k = new_hi + 1; k <= w.hi; ++k) w.set(k, kOffsetNone);
   w.offsets += (new_lo - w.lo);
   w.lo = new_lo;
   w.hi = new_hi;
@@ -291,16 +287,22 @@ i64 WfaAligner::score_low_memory(std::string_view pattern,
   auto set_at = [&](i64 score) -> const WavefrontSet& {
     return slot_of(score).set;
   };
-  // Rebind a slot's component over its backing vector.
+  // Rebind a slot's component over its backing vector (padded like
+  // new_wavefront so the kernel's overhang contract holds here too).
   auto make_front = [&](std::vector<Offset>& storage, i32 lo,
                         i32 hi) -> Wavefront {
-    storage.resize(static_cast<usize>(hi - lo + 1));
+    const usize width = static_cast<usize>(hi - lo + 1);
+    storage.resize(width + 2 * kWavefrontPad);
+    for (usize i = 0; i < kWavefrontPad; ++i) {
+      storage[i] = kOffsetNone;
+      storage[kWavefrontPad + width + i] = kOffsetNone;
+    }
     Wavefront wf;
     wf.exists = true;
     wf.lo = lo;
     wf.hi = hi;
-    wf.offsets = storage.data();
-    counters_.allocated_bytes += storage.size() * sizeof(Offset);
+    wf.offsets = storage.data() + kWavefrontPad;
+    counters_.allocated_bytes += width * sizeof(Offset);
     return wf;
   };
 
@@ -345,27 +347,20 @@ i64 WfaAligner::score_low_memory(std::string_view pattern,
     out_slot.set.m = make_front(out_slot.m, lo, hi);
     out_slot.set.i = make_front(out_slot.i, lo, hi);
     out_slot.set.d = make_front(out_slot.d, lo, hi);
-    auto at = [](const Wavefront* w, i32 k) {
-      return w != nullptr ? w->at(k) : kOffsetNone;
-    };
-    for (i32 k = lo; k <= hi; ++k) {
-      Offset ins = std::max(at(m_gap, k - 1), at(i_ext, k - 1));
-      if (offset_reachable(ins)) {
-        ++ins;
-        if (ins > tl) ins = kOffsetNone;
-      } else {
-        ins = kOffsetNone;
-      }
-      Offset del = std::max(at(m_gap, k + 1), at(d_ext, k + 1));
-      if (!offset_reachable(del) || del - k > pl) del = kOffsetNone;
-      const Offset sub = mismatch_candidate(at(m_sub, k), k, pl, tl);
-      Offset best = max3(sub, ins, del);
-      if (!offset_reachable(best)) best = kOffsetNone;
-      out_slot.set.i.set(k, ins);
-      out_slot.set.d.set(k, del);
-      out_slot.set.m.set(k, best);
-      counters_.computed_cells += 3;
-    }
+    ComputeRowArgs args;
+    args.m_sub = live(m_sub) ? m_sub : nullptr;
+    args.m_gap = live(m_gap) ? m_gap : nullptr;
+    args.i_ext = live(i_ext) ? i_ext : nullptr;
+    args.d_ext = live(d_ext) ? d_ext : nullptr;
+    args.out_m = &out_slot.set.m;
+    args.out_i = &out_slot.set.i;
+    args.out_d = &out_slot.set.d;
+    args.lo = lo;
+    args.hi = hi;
+    args.pl = pl;
+    args.tl = tl;
+    kernels_.compute_row(args);
+    counters_.computed_cells += 3 * static_cast<u64>(hi - lo + 1);
     ++counters_.wavefront_sets;
     done = extend_and_check(out_slot.set.m, pattern, text);
   }

@@ -23,6 +23,7 @@
 
 #include "align/aligner.hpp"
 #include "wfa/allocator.hpp"
+#include "wfa/kernels.hpp"
 #include "wfa/wavefront.hpp"
 
 namespace pimwfa::wfa {
@@ -58,6 +59,10 @@ class WfaAligner final : public align::PairAligner {
     i64 max_score = 0;
     MemoryMode memory_mode = MemoryMode::kHigh;
     Heuristic heuristic{};
+    // Inner-loop kernels (extend match scan + recurrence row). Null uses
+    // the portable scalar defaults; the SIMD backend plugs in vectorized
+    // implementations, which must stay bit-identical (see kernels.hpp).
+    const WfaKernels* kernels = nullptr;
   };
 
   // If `allocator` is null the aligner owns a SlabAllocator.
@@ -100,6 +105,7 @@ class WfaAligner final : public align::PairAligner {
                        std::string_view text);
 
   Options options_;
+  WfaKernels kernels_;
   std::unique_ptr<SlabAllocator> owned_allocator_;
   WavefrontAllocator* allocator_;
   std::vector<WavefrontSet> sets_;  // indexed by score (bookkeeping only)

@@ -17,6 +17,7 @@
 // failure message carries the offending pair so it can be replayed.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "baselines/myers.hpp"
 #include "baselines/nw.hpp"
 #include "cpu/cpu_batch.hpp"
+#include "cpu/simd/simd.hpp"
 #include "pim/host.hpp"
 #include "seq/generator.hpp"
 #include "test_util.hpp"
@@ -535,6 +537,91 @@ INSTANTIATE_TEST_SUITE_P(
         /*lengths=*/{64, 100},
         /*error_rates=*/{0.02, 0.10},
         /*penalty_sets=*/{Penalties::defaults()})),
+    [](const auto& info) { return info.param.name(); });
+
+// --- SIMD CPU layer ------------------------------------------------------
+//
+// The cpu-simd backend promises bit-identity with cpu: vector kernels and
+// fast paths may only change how the optimum is found, never which optimum
+// (score AND CIGAR) is reported. The sweep pins every dispatch level this
+// build+host can execute, both through the layer API directly and through
+// the registry entry under PIMWFA_FORCE_SIMD - exactly how the CI matrix
+// legs drive it.
+
+class SimdDifferential : public ::testing::TestWithParam<DiffConfig> {};
+
+TEST_P(SimdDifferential, CpuSimdIsBitIdenticalToCpuAtEveryLevel) {
+  const DiffConfig config = GetParam();
+  const seq::ReadPairSet batch =
+      pimwfa::testing::diff_batch(config, kPairsPerConfig);
+
+  align::BatchOptions options;
+  options.penalties = config.penalties;
+  options.cpu_threads = 2;
+
+  align::BackendRegistry& registry = align::backend_registry();
+  const align::BatchResult cpu_result =
+      registry.create("cpu", options)->run(batch, AlignmentScope::kFull);
+  ASSERT_EQ(cpu_result.results.size(), batch.size());
+
+  std::vector<cpu::simd::SimdLevel> levels{cpu::simd::SimdLevel::kScalar};
+  if (cpu::simd::runtime_level() >= cpu::simd::SimdLevel::kSse42) {
+    levels.push_back(cpu::simd::SimdLevel::kSse42);
+  }
+  if (cpu::simd::runtime_level() >= cpu::simd::SimdLevel::kAvx2) {
+    levels.push_back(cpu::simd::SimdLevel::kAvx2);
+  }
+
+  for (const cpu::simd::SimdLevel level : levels) {
+    const char* name = cpu::simd::level_name(level);
+
+    // The layer API at the pinned level, both scopes.
+    for (const AlignmentScope scope :
+         {AlignmentScope::kFull, AlignmentScope::kScoreOnly}) {
+      std::vector<align::AlignmentResult> results(batch.size());
+      cpu::simd::SimdStats stats;
+      wfa::WfaCounters counters;
+      u64 high_water = 0;
+      cpu::simd::align_range(batch, 0, batch.size(), config.penalties, scope,
+                             level, {}, results, stats, counters, high_water);
+      for (usize i = 0; i < batch.size(); ++i) {
+        ASSERT_EQ(results[i].score, cpu_result.results[i].score)
+            << "simd(" << name << ") vs cpu, " << pair_diag(config, i, batch[i]);
+        if (scope == AlignmentScope::kFull) {
+          ASSERT_EQ(results[i].cigar.ops(), cpu_result.results[i].cigar.ops())
+              << "simd(" << name << ") cigar vs cpu, "
+              << pair_diag(config, i, batch[i]);
+          ASSERT_NO_THROW(align::verify_result(results[i], batch[i].pattern,
+                                               batch[i].text,
+                                               config.penalties))
+              << pair_diag(config, i, batch[i]);
+        }
+      }
+    }
+
+    // The registry entry, dispatch forced through the environment knob.
+    ASSERT_EQ(setenv("PIMWFA_FORCE_SIMD", name, 1), 0);
+    const align::BatchResult simd_result =
+        registry.create("cpu-simd", options)->run(batch, AlignmentScope::kFull);
+    unsetenv("PIMWFA_FORCE_SIMD");
+    ASSERT_EQ(simd_result.results.size(), batch.size());
+    for (usize i = 0; i < batch.size(); ++i) {
+      ASSERT_EQ(simd_result.results[i], cpu_result.results[i])
+          << "cpu-simd(" << name << ") vs cpu, "
+          << pair_diag(config, i, batch[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimdDifferential,
+    ::testing::ValuesIn(pimwfa::testing::diff_cross(
+        // 33 puts full lane groups next to a ragged tail; 100 is the
+        // paper's read length.
+        /*lengths=*/{33, 64, 100},
+        /*error_rates=*/{0.0, 0.02, 0.10},
+        /*penalty_sets=*/
+        {Penalties::defaults(), Penalties::edit(), Penalties{2, 12, 1}})),
     [](const auto& info) { return info.param.name(); });
 
 }  // namespace

@@ -20,15 +20,25 @@ gate on those, not on raw seconds. A metric may instead be pinned to an
 exact value with {"equals": <value>} - used for structural invariants
 like hybrid/bases_copied == 0, where any deviation (in either direction)
 is a regression, not noise.
+
+When $GITHUB_STEP_SUMMARY is set (every GitHub Actions step), the gated
+rows are also appended there as a markdown table, so the numbers are
+readable from the run page without digging through logs.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
-def check_report(path: str, baselines: dict, max_regress: float) -> int:
-    """Gates one report; returns 0 (ok), 1 (regressed) or 2 (bad input)."""
+def check_report(path: str, baselines: dict, max_regress: float,
+                 rows: list) -> int:
+    """Gates one report; returns 0 (ok), 1 (regressed) or 2 (bad input).
+
+    Appends one row per gated metric to `rows`:
+    (bench, metric, actual, requirement, status).
+    """
     with open(path) as handle:
         report = json.load(handle)
 
@@ -50,6 +60,7 @@ def check_report(path: str, baselines: dict, max_regress: float) -> int:
         entry = metrics.get(name)
         if entry is None or entry.get("value") is None:
             failures.append(f"{name}: missing from report")
+            rows.append((bench, name, "missing", "present", "MISSING"))
             continue
         actual = entry["value"]
         if isinstance(expected, dict):
@@ -62,6 +73,8 @@ def check_report(path: str, baselines: dict, max_regress: float) -> int:
             status = "OK" if actual == target else "REGRESSED"
             print(f"  {bench}/{name}: {actual:.4f} must equal "
                   f"{target:.4f} {status}")
+            rows.append((bench, name, f"{actual:.4f}", f"= {target:.4f}",
+                         status))
             if actual != target:
                 failures.append(
                     f"{name}: {actual:.4f} != required {target:.4f}")
@@ -70,6 +83,8 @@ def check_report(path: str, baselines: dict, max_regress: float) -> int:
         status = "OK" if actual >= floor else "REGRESSED"
         print(f"  {bench}/{name}: {actual:.4f} vs baseline "
               f"{expected:.4f} (floor {floor:.4f}) {status}")
+        rows.append((bench, name, f"{actual:.4f}",
+                     f">= {floor:.4f} (baseline {expected:.4f})", status))
         if actual < floor:
             failures.append(
                 f"{name}: {actual:.4f} < {floor:.4f} "
@@ -83,6 +98,26 @@ def check_report(path: str, baselines: dict, max_regress: float) -> int:
     print(f"check_perf: {bench} within {max_regress:.0%} of baseline "
           f"({len(gated)} gated metric{'s' if len(gated) != 1 else ''})")
     return 0
+
+
+def write_step_summary(rows: list, max_regress: float) -> None:
+    """Appends the gated rows to $GITHUB_STEP_SUMMARY when set."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path or not rows:
+        return
+    lines = [
+        f"### Perf gate (max regress {max_regress:.0%})",
+        "",
+        "| bench | metric | actual | requirement | status |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    for bench, metric, actual, requirement, status in rows:
+        icon = "✅" if status == "OK" else "❌"
+        lines.append(f"| {bench} | {metric} | {actual} | {requirement} | "
+                     f"{icon} {status} |")
+    lines.append("")
+    with open(path, "a") as handle:
+        handle.write("\n".join(lines) + "\n")
 
 
 def main() -> int:
@@ -100,8 +135,11 @@ def main() -> int:
         baselines = json.load(handle)
 
     worst = 0
+    rows = []
     for path in args.report:
-        worst = max(worst, check_report(path, baselines, args.max_regress))
+        worst = max(worst, check_report(path, baselines, args.max_regress,
+                                        rows))
+    write_step_summary(rows, args.max_regress)
     return worst
 
 
