@@ -8,8 +8,10 @@
 #include "common/bench_report.hpp"
 #include "common/cli.hpp"
 #include "common/strings.hpp"
+#include "common/timer.hpp"
 #include "pim/host.hpp"
 #include "seq/generator.hpp"
+#include "wfa/wfa_aligner.hpp"
 
 int main(int argc, char** argv) {
   using namespace pimwfa;
@@ -37,7 +39,8 @@ int main(int argc, char** argv) {
   report.set_param("error_rate", error_rate);
   report.set_param("bases", static_cast<i64>(bases));
 
-  for (const usize length : {100u, 250u, 500u, 1000u, 2000u, 4000u}) {
+  for (const usize length :
+       {100u, 250u, 500u, 1000u, 2000u, 4000u, 10'000u, 100'000u}) {
     const usize pairs = std::max<usize>(bases / length, 1);
     seq::GeneratorConfig gen;
     gen.pairs = pairs;
@@ -56,12 +59,15 @@ int main(int argc, char** argv) {
                         penalties.gap_open + penalties.gap_extend));
 
     // Long reads need big WRAM buffers: find the largest tasklet count
-    // that fits (the realistic deployment policy).
+    // that fits untiled (the paper's deployment constraint - tiling is
+    // disabled here on purpose so the WRAM wall stays visible; the
+    // kUltralow row below and bench_longread show the unlock).
     for (usize tasklets = 24; tasklets >= 1; tasklets /= 2) {
       pim::PimOptions options;
       options.system = upmem::SystemConfig::tiny(1);
       options.nr_tasklets = tasklets;
       options.max_score = cap;
+      options.tile_long_pairs = false;
       try {
         pim::PimBatchAligner aligner(options);
         const pim::PimBatchResult result =
@@ -83,14 +89,37 @@ int main(int argc, char** argv) {
                                with_commas(static_cast<u64>(bases_per_s)).c_str(),
                                with_commas(cells).c_str());
         break;
-      } catch (const HardwareFault&) {
+      } catch (const Error&) {
+        // Untiled run rejected (WRAM/arena shortfall); try fewer tasklets.
         if (tasklets == 1) {
           std::cout << strprintf("  %-8zu %-7zu %s\n", length, pairs,
-                                 "does not fit even with 1 tasklet");
+                                 "does not fit untiled even with 1 tasklet");
           break;
         }
       }
     }
+
+    // The same cell under kUltralow on the host: the long-read memory
+    // mode. Peak live wavefront bytes go into the JSON per cell, and
+    // lengths the untiled kernel cannot host at all still get a number.
+    wfa::WfaAligner::Options ultra_options;
+    ultra_options.penalties = penalties;
+    ultra_options.memory_mode = wfa::WfaAligner::MemoryMode::kUltralow;
+    wfa::WfaAligner ultra(ultra_options);
+    WallTimer ultra_timer;
+    for (usize i = 0; i < batch.size(); ++i) {
+      ultra.align(batch[i].pattern, batch[i].text,
+                  align::AlignmentScope::kFull);
+    }
+    const double ultra_seconds = ultra_timer.seconds();
+    const u64 peak = ultra.counters().peak_wavefront_bytes;
+    report.add_metric(strprintf("peak_wavefront_bytes_len%zu", length),
+                      static_cast<double>(peak), "bytes");
+    report.add_metric(strprintf("ultralow_seconds_len%zu", length),
+                      ultra_seconds, "s");
+    std::cout << strprintf("  %-8s ultralow: peak %s wavefront bytes, %s\n",
+                           "", with_commas(peak).c_str(),
+                           format_seconds(ultra_seconds).c_str());
   }
   std::cout << "\nWFA work grows with the score (O(s^2) cells + O(n)"
                " extension), and WRAM buffer\npressure cuts the feasible"

@@ -25,8 +25,23 @@ namespace pimwfa::align {
 // plain scalars so this header stays below the cpu/pim layers; each
 // backend translates the fields it cares about into its native options
 // (cpu::CpuBatchOptions, pim::PimOptions) and ignores the rest.
+// Wavefront retention policy, the batch-level mirror of
+// wfa::WfaAligner::MemoryMode (kept as a separate enum so this header
+// stays below the wfa layer). kHigh retains everything (O(s^2) memory),
+// kLow rings score-only wavefronts, kUltralow is the bidirectional BiWFA
+// pass: O(s) peak memory at ~2x compute with bit-identical scores and
+// CIGARs - the mode that unlocks 10kb-1Mb long reads.
+enum class MemoryMode { kHigh, kLow, kUltralow };
+
+// Parse/print helpers for the --memory flag ("high" / "low" / "ultralow").
+MemoryMode parse_memory_mode(const std::string& name);
+const char* memory_mode_name(MemoryMode mode);
+
 struct BatchOptions {
   Penalties penalties = Penalties::defaults();
+  // Wavefront retention of every WFA instance the backend spawns (CPU
+  // workers, calibration samples, PIM host-side fallbacks).
+  MemoryMode memory_mode = MemoryMode::kHigh;
 
   // --- CPU backend -------------------------------------------------------
   // Host worker threads for the measured run (0 = hardware concurrency).
@@ -111,6 +126,11 @@ struct BatchTimings {
   u64 bytes_from_device = 0;
   usize pim_pairs = 0;       // share of `pairs` routed to the PIM side
   usize pipeline_chunks = 0; // > 1 when the PIM side ran pipelined
+
+  // Peak wavefront bytes live at once in any single WFA instance (max
+  // over workers): the memory-mode figure of merit. Zero for runs that
+  // never touch the WFA arena (pure fast-path SIMD batches).
+  u64 peak_wavefront_bytes = 0;
 
   // Bases deep-copied on this run's thread to carve sub-batches (hybrid
   // split, calibration samples, sharded submission). Zero since the batch

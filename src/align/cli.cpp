@@ -46,6 +46,11 @@ BatchFlags parse_batch_flags(Cli& cli, const BatchFlags& defaults) {
   o.cpu_simd_edit_threshold = static_cast<usize>(cli.get_int(
       "simd-threshold", static_cast<i64>(d.cpu_simd_edit_threshold),
       "SIMD fast-path edit threshold (0 = auto)"));
+  const std::string memory = cli.get_string(
+      "memory", memory_mode_name(d.memory_mode),
+      "wavefront memory mode: high (retain all), low (score-only ring), "
+      "ultralow (BiWFA, O(s) peak - long reads)");
+  if (!cli.help_requested()) o.memory_mode = parse_memory_mode(memory);
 
   out.pairs = static_cast<usize>(
       cli.get_int("pairs", static_cast<i64>(defaults.pairs), "read pairs"));

@@ -99,18 +99,43 @@ HybridBatchAligner::Calibration HybridBatchAligner::calibrate(
   // (pim_alone_seconds then stays 0 in the plan and timings).
   if (forced < 0) {
     pim::PimOptions probe = pim::PimOptions::from(options_);
-    probe.simulate_dpus = 1;
-    probe.virtual_total_pairs = pairs;
-    const usize share0 =
-        pim::PimBatchAligner::dpu_pair_range(pairs, probe.system.nr_dpus(), 0)
-            .second;
-    PIMWFA_ARG_CHECK(materialized >= share0,
-                     "hybrid PIM probe needs the first DPU's share ("
-                         << share0 << " pairs) materialized");
-    pim::PimBatchAligner prober(probe);
-    out.pim_alone_seconds =
-        prober.align_batch(batch.subspan(0, share0), scope, pool)
-            .timings.total_seconds();
+    if (pim::PimBatchAligner(probe).needs_tiling(batch, scope)) {
+      // Long pairs tile across every DPU, so the virtual-prefix /
+      // single-simulated-DPU probe below cannot represent the run (and
+      // the tiled path rejects it). Price the split from a small fully
+      // simulated slice of the system instead, scaled by the pair count
+      // and the DPU-count ratio: segments spread round-robin, so PIM
+      // time is ~inversely proportional to DPU count.
+      const usize sample_pairs =
+          std::min(materialized, options_.hybrid_calibration_pairs);
+      pim::PimOptions tiled_probe = probe;
+      tiled_probe.simulate_dpus = 0;
+      tiled_probe.virtual_total_pairs = 0;
+      const usize probe_dpus = std::min<usize>(probe.system.nr_dpus(), 4);
+      tiled_probe.system = upmem::SystemConfig::tiny(probe_dpus);
+      pim::PimBatchAligner prober(tiled_probe);
+      const double sample_seconds =
+          prober.align_batch(batch.first(sample_pairs), scope, pool)
+              .timings.total_seconds();
+      out.pim_alone_seconds =
+          sample_seconds * (n / static_cast<double>(sample_pairs)) *
+          (static_cast<double>(probe_dpus) /
+           static_cast<double>(probe.system.nr_dpus()));
+    } else {
+      probe.simulate_dpus = 1;
+      probe.virtual_total_pairs = pairs;
+      const usize share0 =
+          pim::PimBatchAligner::dpu_pair_range(pairs,
+                                               probe.system.nr_dpus(), 0)
+              .second;
+      PIMWFA_ARG_CHECK(materialized >= share0,
+                       "hybrid PIM probe needs the first DPU's share ("
+                           << share0 << " pairs) materialized");
+      pim::PimBatchAligner prober(probe);
+      out.pim_alone_seconds =
+          prober.align_batch(batch.subspan(0, share0), scope, pool)
+              .timings.total_seconds();
+    }
   }
   return out;
 }

@@ -79,7 +79,11 @@ struct ServiceOptions {
   // requests make progress instead of wedging.
   usize max_queued_pairs = 8192;
   // The same watermark in total bases (pattern + text); 0 = unlimited.
-  u64 max_queued_bases = 0;
+  // The default bounds resident sequence memory directly, which matters
+  // for long reads: 8192 short pairs and a handful of 1Mb pairs are very
+  // different footprints, so for long-read traffic this watermark - not
+  // max_queued_pairs - is the one that fires first.
+  u64 max_queued_bases = 64u << 20;
 
   // ReadPairSet arenas in the recycling ring - the bound on resident
   // batch storage. 0 = engine.max_in_flight + 1 (every in-flight batch

@@ -20,8 +20,24 @@ CpuBatchOptions CpuBatchOptions::from(const align::BatchOptions& batch) {
           : std::max<usize>(std::thread::hardware_concurrency(), 1);
   options.simd = batch.cpu_simd;
   options.simd_edit_threshold = batch.cpu_simd_edit_threshold;
+  options.memory_mode = batch.memory_mode;
   return options;
 }
+
+namespace {
+
+wfa::WfaAligner::MemoryMode to_wfa_mode(align::MemoryMode mode) {
+  switch (mode) {
+    case align::MemoryMode::kLow:
+      return wfa::WfaAligner::MemoryMode::kLow;
+    case align::MemoryMode::kUltralow:
+      return wfa::WfaAligner::MemoryMode::kUltralow;
+    default:
+      return wfa::WfaAligner::MemoryMode::kHigh;
+  }
+}
+
+}  // namespace
 
 CpuBatchAligner::CpuBatchAligner(CpuBatchOptions options)
     : options_(options) {
@@ -63,7 +79,8 @@ CpuBatchResult CpuBatchAligner::align_batch(seq::ReadPairSpan batch,
       simd::align_range(batch, begin, end, options_.penalties, scope,
                         simd_level_,
                         simd::FastPathConfig{options_.simd_edit_threshold},
-                        out.results, stats, work, high_water);
+                        out.results, stats, work, high_water,
+                        to_wfa_mode(options_.memory_mode));
       std::lock_guard lock(merge_mutex);
       out.work.merge(work);
       out.simd.merge(stats);
@@ -71,7 +88,10 @@ CpuBatchResult CpuBatchAligner::align_batch(seq::ReadPairSpan batch,
           std::max(out.allocator_high_water, high_water);
       return;
     }
-    wfa::WfaAligner aligner{options_.penalties};
+    wfa::WfaAligner::Options wfa_options;
+    wfa_options.penalties = options_.penalties;
+    wfa_options.memory_mode = to_wfa_mode(options_.memory_mode);
+    wfa::WfaAligner aligner{wfa_options};
     for (usize i = begin; i < end; ++i) {
       out.results[i] = aligner.align(batch.pattern(i), batch.text(i), scope);
     }
@@ -117,6 +137,7 @@ align::BatchResult CpuBatchAligner::run(seq::ReadPairSpan batch,
   t.materialized = materialized;
   t.cpu_pairs = pairs;
   t.cpu_fraction = 1.0;
+  t.peak_wavefront_bytes = native.work.peak_wavefront_bytes;
   if (materialized == 0) return out;
 
   // Roofline projection onto the modeled server. Single-thread cost comes

@@ -21,6 +21,9 @@ namespace pimwfa::cpu {
 struct CpuBatchOptions {
   align::Penalties penalties = align::Penalties::defaults();
   usize threads = 1;
+  // Wavefront retention of every worker's WfaAligner (see
+  // align::MemoryMode); kUltralow is what makes 10kb+ pairs tractable.
+  align::MemoryMode memory_mode = align::MemoryMode::kHigh;
   // Route workers through the SIMD layer (vectorized kernels + exact
   // fast paths; bit-identical results). The dispatch level is resolved
   // once at construction via simd::active_level().

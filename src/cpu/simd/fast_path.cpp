@@ -149,7 +149,8 @@ void align_range(seq::ReadPairSpan batch, usize begin, usize end,
                  const FastPathConfig& config,
                  std::vector<align::AlignmentResult>& results,
                  SimdStats& stats, wfa::WfaCounters& counters,
-                 u64& allocator_high_water) {
+                 u64& allocator_high_water,
+                 wfa::WfaAligner::MemoryMode memory_mode) {
   PIMWFA_ARG_CHECK(begin <= end && end <= batch.size() &&
                        end <= results.size(),
                    "align_range bounds [" << begin << ", " << end
@@ -157,6 +158,7 @@ void align_range(seq::ReadPairSpan batch, usize begin, usize end,
   const KernelTable& table = kernel_table(level);
   wfa::WfaAligner::Options wfa_options;
   wfa_options.penalties = penalties;
+  wfa_options.memory_mode = memory_mode;
   const wfa::WfaKernels& kernels = wfa_kernels(level);
   wfa_options.kernels = &kernels;
   wfa::WfaAligner fallback{wfa_options};

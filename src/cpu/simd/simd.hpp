@@ -42,6 +42,7 @@
 #include "seq/view.hpp"
 #include "wfa/kernels.hpp"
 #include "wfa/wavefront.hpp"
+#include "wfa/wfa_aligner.hpp"
 
 namespace pimwfa::cpu::simd {
 
@@ -134,13 +135,17 @@ void mismatch_positions(SimdLevel level, std::string_view a,
 // work counters into `counters` and raises `allocator_high_water` to the
 // fallback arena's high water mark. This is the cpu-simd backend's
 // per-worker loop body.
+// `memory_mode` sets the fallback aligner's wavefront retention (fast
+// paths never touch the arena); kUltralow keeps long-read batches O(s).
 void align_range(seq::ReadPairSpan batch, usize begin, usize end,
                  const align::Penalties& penalties,
                  align::AlignmentScope scope, SimdLevel level,
                  const FastPathConfig& config,
                  std::vector<align::AlignmentResult>& results,
                  SimdStats& stats, wfa::WfaCounters& counters,
-                 u64& allocator_high_water);
+                 u64& allocator_high_water,
+                 wfa::WfaAligner::MemoryMode memory_mode =
+                     wfa::WfaAligner::MemoryMode::kHigh);
 
 // Deterministic single-core cost model of the SIMD layer, derived from
 // work counters (never wall time): the same sample is aligned once with

@@ -118,8 +118,12 @@ class Engine {
     ctx_.mram_read(addr, stage_off_, 8);
     u32 lens[2];
     std::memcpy(lens, ctx_.wram_ptr(stage_off_, 8), 8);
-    plen_ = static_cast<i32>(lens[0]);
-    tlen_ = static_cast<i32>(lens[1]);
+    // Tiled segments carry their seam components in the top length bits
+    // (see layout.hpp); plain pairs decode to M/M.
+    begin_ = lens[0] >> kPairCompShift;
+    end_ = lens[1] >> kPairCompShift;
+    plen_ = static_cast<i32>(lens[0] & kPairLenMask);
+    tlen_ = static_cast<i32>(lens[1] & kPairLenMask);
     PIMWFA_HW_CHECK(static_cast<u32>(plen_) <= hdr_.max_pattern &&
                         static_cast<u32>(tlen_) <= hdr_.max_text,
                     "pair " << pair << " exceeds declared max lengths");
@@ -182,6 +186,18 @@ class Engine {
     }
     m.flush();
     return done;
+  }
+
+  // Span termination: an end_ of I/D means the (sub)alignment must end in
+  // that gap component - M reaching the corner does not terminate it.
+  bool hits_end(u64 score, bool m_done) {
+    if (end_ == 0) return m_done;
+    const WfDesc desc = space_->read_desc(score);
+    if (!desc.exists()) return false;
+    const u64 handle = end_ == 1 ? desc.i_addr : desc.d_addr;
+    const Offset off =
+        space_->read_offset(handle, desc.lo, desc.hi, tlen_ - plen_);
+    return wfa::offset_reachable(off) && off >= tlen_;
   }
 
   void compute_next(u64 score) {
@@ -288,7 +304,7 @@ class Engine {
     u64 s = final_score;
     i32 k = tlen_ - plen_;
     Offset off = tlen_;
-    State state = State::kM;
+    State state = end_ == 1 ? State::kI : end_ == 2 ? State::kD : State::kM;
     auto comp_at = [&](u64 score, char comp, i32 kk) -> Offset {
       const WfDesc d = space_->read_desc(score);
       const u64 handle =
@@ -324,6 +340,8 @@ class Engine {
           state = State::kD;
         }
       } else if (state == State::kI) {
+        // The span seed I[0][0] is the entry state, not an operation.
+        if (begin_ == 1 && s == 0 && k == 0 && off == 0) break;
         emit('I');
         const Offset open_src =
             s >= static_cast<u64>(oe) ? comp_at(s - oe, 'm', k - 1)
@@ -341,6 +359,7 @@ class Engine {
         --off;
         --k;
       } else {
+        if (begin_ == 2 && s == 0 && k == 0 && off == 0) break;
         emit('D');
         const Offset open_src =
             s >= static_cast<u64>(oe) ? comp_at(s - oe, 'm', k + 1)
@@ -375,10 +394,14 @@ class Engine {
     usize cigar_len = 0;
 
     if (plen_ == 0 || tlen_ == 0) {
-      // Degenerate pair: one all-gap alignment.
+      // Degenerate pair: one all-gap alignment. A tiled segment that
+      // continues its begin component's seam run pays no gap_open (the
+      // upstream segment already did).
       const i32 gap = plen_ + tlen_;
+      const bool seam = (tlen_ > 0 && begin_ == 1) ||
+                        (plen_ > 0 && begin_ == 2);
       score = gap == 0 ? 0
-                       : static_cast<u64>(hdr_.gap_open) +
+                       : (seam ? 0 : static_cast<u64>(hdr_.gap_open)) +
                              static_cast<u64>(gap) * hdr_.gap_extend;
       if (hdr_.full_alignment != 0) {
         u8* cigar = ctx_.wram_ptr(cigar_off_, cigar_cap_);
@@ -387,7 +410,9 @@ class Engine {
         ctx_.account(cigar_len * costs_.cigar_byte);
       }
     } else {
-      // Score-0 seed on diagonal 0.
+      // Score-0 seed on diagonal 0; a kI/kD begin also seeds its gap
+      // state (free gap-to-M transition) so the seam run extends at
+      // gap_extend cost without re-paying gap_open.
       WfDesc d0;
       d0.lo = 0;
       d0.hi = 0;
@@ -396,15 +421,28 @@ class Engine {
       seed.bind(d0.m_addr, 0, 0, true);
       seed.set(0, 0);
       seed.flush();
+      if (begin_ == 1) {
+        d0.i_addr = space_->alloc_offsets(1);
+        OffsetWindow& gi = win(kWOutI);
+        gi.bind(d0.i_addr, 0, 0, true);
+        gi.set(0, 0);
+        gi.flush();
+      } else if (begin_ == 2) {
+        d0.d_addr = space_->alloc_offsets(1);
+        OffsetWindow& gd = win(kWOutD);
+        gd.bind(d0.d_addr, 0, 0, true);
+        gd.set(0, 0);
+        gd.flush();
+      }
       space_->write_desc(0, d0);
 
-      bool done = extend_and_check(0);
+      bool done = hits_end(0, extend_and_check(0));
       while (!done) {
         ++score;
         PIMWFA_HW_CHECK(score <= hdr_.max_score,
                         "WFA exceeded batch score cap " << hdr_.max_score);
         compute_next(score);
-        done = extend_and_check(score);
+        done = hits_end(score, extend_and_check(score));
       }
       if (hdr_.full_alignment != 0) cigar_len = backtrace(score);
     }
@@ -435,6 +473,8 @@ class Engine {
   u64 cigar_cap_ = 0;
   i32 plen_ = 0;
   i32 tlen_ = 0;
+  u32 begin_ = 0;  // seam components (0 = M, 1 = I, 2 = D)
+  u32 end_ = 0;
   const char* pattern_ = nullptr;
   const char* text_ = nullptr;
   std::optional<MetaSpace> space_;

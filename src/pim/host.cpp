@@ -4,10 +4,12 @@
 #include <cstring>
 #include <future>
 
+#include "align/penalties.hpp"
 #include "common/bits.hpp"
 #include "common/check.hpp"
 #include "common/timer.hpp"
 #include "pim/dpu_wfa_kernel.hpp"
+#include "pim/tiling.hpp"
 #include "seq/packed.hpp"
 
 namespace pimwfa::pim {
@@ -22,10 +24,11 @@ namespace {
 void write_pair_record(upmem::PimSystem& system, usize d,
                        const BatchLayout& layout, std::string_view pattern,
                        std::string_view text, usize slot, bool packed,
-                       std::vector<u8>& record) {
+                       std::vector<u8>& record, u32 begin_comp = 0,
+                       u32 end_comp = 0) {
   record.assign(static_cast<usize>(layout.header().pair_stride), 0);
-  const u32 lens[2] = {static_cast<u32>(pattern.size()),
-                       static_cast<u32>(text.size())};
+  const u32 lens[2] = {encode_pair_len(pattern.size(), begin_comp),
+                       encode_pair_len(text.size(), end_comp)};
   std::memcpy(record.data(), lens, 8);
   if (packed) {
     seq::PackedSequence::pack_into(pattern, record.data() + 8);
@@ -348,6 +351,190 @@ PimBatchResult run_pipelined(const BatchRun& run,
   return out;
 }
 
+// --- long-pair tiling ---------------------------------------------------
+
+// Bases (pattern + text) one tasklet's WRAM share can host. The engine
+// keeps per-field sequence buffers plus - in full-alignment mode - a
+// CIGAR buffer of max_pattern + max_text bytes resident, next to ~1.3 KiB
+// of fixed storage (staged header, 9 offset windows, stage word). The
+// buffers are sized by the batch's per-field maxima, and lopsided
+// segments (a long deletion next to a long insertion) can push each field
+// toward the cap independently, so provision 2 * (cap + cap).
+usize wram_segment_bases(const upmem::SystemConfig& system,
+                         usize nr_tasklets) {
+  const u64 per_tasklet = system.wram_bytes / nr_tasklets;
+  constexpr u64 kFixedBytes = 1536;
+  if (per_tasklet <= kFixedBytes + 64) return 0;
+  return static_cast<usize>((per_tasklet - kFixedBytes) / 4);
+}
+
+// Score bound a segment batch must provision for: span alignments can
+// cost slightly more than the plain worst case (a forced boundary
+// component appends at most one extra gap pair and a mismatch).
+u64 span_score_cap(const PimOptions& options, usize max_p, usize max_t) {
+  if (options.max_score != 0) return options.max_score;
+  const align::Penalties& pen = options.penalties;
+  return static_cast<u64>(align::worst_case_score(pen, max_p, max_t) +
+                          2 * (pen.gap_open + pen.gap_extend) + pen.mismatch);
+}
+
+// Offset-heap bytes one tasklet gets under a given record geometry.
+u64 tiling_arena_budget(const PimOptions& options, bool full,
+                        usize per_dpu_items, usize max_p, usize max_t) {
+  BatchLayout::Params params;
+  params.nr_pairs = std::max<usize>(per_dpu_items, 1);
+  params.nr_tasklets = options.nr_tasklets;
+  params.max_pattern = max_p;
+  params.max_text = max_t;
+  params.penalties = options.penalties;
+  params.full_alignment = full;
+  params.policy = options.policy;
+  params.packed_sequences = options.packed_sequences;
+  params.max_score = span_score_cap(options, max_p, max_t);
+  const BatchLayout probe =
+      BatchLayout::plan(params, options.system.mram_bytes);
+  const u64 reserved = probe.desc_table_bytes() + 4096;
+  const u64 stride = probe.header().scratch_stride;
+  return stride > reserved ? stride - reserved : 0;
+}
+
+i64 pair_score_bound(const PimOptions& options, usize pl, usize tl) {
+  i64 bound = align::worst_case_score(options.penalties, pl, tl);
+  if (options.max_score != 0) {
+    bound = std::min(bound, static_cast<i64>(options.max_score));
+  }
+  return bound;
+}
+
+// Indices of pairs that cannot run as single records. The WRAM sequence
+// share is a hard wall either way. The arena estimate is worst-case
+// (actual scores are usually far lower), so it only routes pairs to the
+// tiling planner - which prices the real score - and never rejects an
+// untiled run, where the arena is still probed by running, as it always
+// was.
+std::vector<usize> screen_oversized(const PimOptions& options,
+                                    seq::ReadPairSpan batch, bool full,
+                                    usize virtual_n, usize logical,
+                                    usize max_pattern, usize max_text,
+                                    usize* seg_bases_out, u64* budget_out) {
+  const usize seg_bases =
+      options.tile_max_segment_bases != 0
+          ? options.tile_max_segment_bases
+          : wram_segment_bases(options.system, options.nr_tasklets);
+  *seg_bases_out = seg_bases;
+  *budget_out = 0;
+  std::vector<usize> oversized;
+  if (seg_bases == 0) return oversized;
+  const usize probe_max_p = std::min(max_pattern, seg_bases);
+  const usize probe_max_t = std::min(max_text, seg_bases);
+  const u64 budget =
+      tiling_arena_budget(options, full, (virtual_n + logical - 1) / logical,
+                          probe_max_p, probe_max_t);
+  *budget_out = budget;
+  for (usize p = 0; p < batch.size(); ++p) {
+    const usize pl = batch.pattern(p).size();
+    const usize tl = batch.text(p).size();
+    const bool wram_wall = pl + tl > seg_bases;
+    const bool arena_heavy =
+        options.tile_long_pairs &&
+        TilingPlanner::retained_arena_estimate(
+            pair_score_bound(options, pl, tl), pl, tl) > budget;
+    if (wram_wall || arena_heavy) oversized.push_back(p);
+  }
+  return oversized;
+}
+
+// The segment batch standing in for the pair batch on the DPUs.
+struct TiledBatch {
+  std::vector<TileSegment> segments;  // pair-major
+  std::vector<std::pair<usize, usize>> pair_ranges;  // segments of pair p
+  usize max_pattern = 0;
+  usize max_text = 0;
+};
+
+std::string_view segment_pattern(seq::ReadPairSpan batch,
+                                 const TileSegment& s) {
+  return batch.pattern(s.pair).substr(s.v0, s.v1 - s.v0);
+}
+
+std::string_view segment_text(seq::ReadPairSpan batch, const TileSegment& s) {
+  return batch.text(s.pair).substr(s.h0, s.h1 - s.h0);
+}
+
+// Synchronous execution of a segment batch: scatter the segments as
+// ordinary pair records (seam components in the length fields), run the
+// unchanged kernel loop, gather per-segment results and stitch them back
+// into per-pair alignments. `run` carries the segment-batch geometry
+// (virtual_n = segment count, maxes over segments) and full simulation.
+PimBatchResult run_tiled(const BatchRun& run, const TiledBatch& tiled,
+                         usize nr_pairs, ThreadPool* pool) {
+  upmem::PimSystem& system = run.system;
+  const std::vector<TileSegment>& segments = tiled.segments;
+
+  {
+    std::vector<u8> record;
+    for (usize d = 0; d < run.logical; ++d) {
+      const auto [begin, end] = run.range_of(d);
+      const BatchLayout layout = run.layout_for(end - begin);
+      const BatchHeader& h = layout.header();
+      system.copy_to_mram(
+          d, 0, {reinterpret_cast<const u8*>(&h), sizeof(BatchHeader)});
+      for (usize s = begin; s < end; ++s) {
+        const TileSegment& seg = segments[s];
+        write_pair_record(system, d, layout, segment_pattern(run.batch, seg),
+                          segment_text(run.batch, seg), s - begin,
+                          run.options.packed_sequences, record,
+                          static_cast<u32>(seg.begin),
+                          static_cast<u32>(seg.end));
+      }
+    }
+  }
+
+  const KernelCosts costs = run.options.costs;
+  const upmem::LaunchStats launch = system.launch_all(
+      [&costs](usize) { return std::make_unique<WfaDpuKernel>(costs); },
+      run.options.nr_tasklets, pool);
+
+  PimBatchResult out;
+  {
+    std::vector<align::AlignmentResult> seg_results(segments.size());
+    std::vector<u8> record;
+    for (usize d = 0; d < run.logical; ++d) {
+      const auto [begin, end] = run.range_of(d);
+      const BatchLayout layout = run.layout_for(end - begin);
+      for (usize s = begin; s < end; ++s) {
+        seg_results[s] =
+            read_result_record(system, d, layout, s - begin, run.full, record);
+      }
+    }
+    out.results.reserve(nr_pairs);
+    usize tiled_pairs = 0;
+    for (usize p = 0; p < nr_pairs; ++p) {
+      const auto [sb, se] = tiled.pair_ranges[p];
+      if (se - sb == 1) {
+        out.results.push_back(std::move(seg_results[sb]));
+      } else {
+        ++tiled_pairs;
+        out.results.push_back(
+            stitch_segments(segments, sb, se, seg_results, run.full));
+      }
+    }
+    out.timings.tiled_pairs = tiled_pairs;
+  }
+
+  PimTimings& t = out.timings;
+  t.scatter_seconds = system.scatter_seconds();
+  t.kernel_seconds = launch.kernel_seconds(run.options.system);
+  t.gather_seconds = system.gather_seconds();
+  t.kernel_cycles_max = launch.max_cycles;
+  t.kernel_cycles_total = launch.total_cycles;
+  t.work = launch.combined;
+  run.fill_common_timings(t);
+  t.pairs = nr_pairs;
+  t.tile_segments = segments.size();
+  return out;
+}
+
 }  // namespace
 
 PimOptions PimOptions::from(const align::BatchOptions& batch) {
@@ -384,6 +571,27 @@ std::string PimBatchAligner::name() const {
   if (options_.pipeline) return "pim-pipelined";
   if (options_.packed_sequences) return "pim-packed";
   return "pim";
+}
+
+bool PimBatchAligner::needs_tiling(seq::ReadPairSpan batch,
+                                   align::AlignmentScope scope) const {
+  if (options_.policy != MetadataPolicy::kMram || batch.size() == 0) {
+    return false;
+  }
+  usize max_p = 0;
+  usize max_t = 0;
+  for (usize p = 0; p < batch.size(); ++p) {
+    max_p = std::max(max_p, batch.pattern(p).size());
+    max_t = std::max(max_t, batch.text(p).size());
+  }
+  const usize n = std::max<usize>(options_.virtual_total_pairs, batch.size());
+  usize seg_bases = 0;
+  u64 budget = 0;
+  return !screen_oversized(options_, batch,
+                           scope == align::AlignmentScope::kFull, n,
+                           options_.system.nr_dpus(), max_p, max_t,
+                           &seg_bases, &budget)
+              .empty();
 }
 
 align::BatchResult PimBatchAligner::run(seq::ReadPairSpan batch,
@@ -454,6 +662,102 @@ PimBatchResult PimBatchAligner::align_batch(seq::ReadPairSpan batch,
                      "batch does not cover the simulated DPUs' share ("
                          << last_end << " pairs needed, " << batch.size()
                          << " provided)");
+  }
+
+  // --- long-pair tiling -------------------------------------------------
+  // A pair whose sequences outgrow a tasklet's WRAM share, or whose
+  // retained wavefronts outgrow the per-tasklet MRAM arena, cannot run as
+  // one record. Screen for such pairs and split them into breakpoint-
+  // delimited segments (pim/tiling.hpp). Metadata-in-WRAM is exempt: its
+  // arenas are far too small for pairs that would ever need tiling.
+  if (options_.policy == MetadataPolicy::kMram && batch.size() > 0) {
+    usize seg_bases = 0;
+    u64 budget = 0;
+    const std::vector<usize> oversized =
+        screen_oversized(options_, batch, run.full, run.virtual_n, logical,
+                         run.max_pattern, run.max_text, &seg_bases, &budget);
+    if (!oversized.empty()) {
+      const usize p0 = oversized.front();
+      const usize pl = batch.pattern(p0).size();
+      const usize tl = batch.text(p0).size();
+      PIMWFA_CHECK(
+          options_.tile_long_pairs,
+          "pair " << p0 << " (" << pl << "x" << tl
+                  << " bases) cannot run untiled: it needs "
+                  << TilingPlanner::retained_arena_estimate(
+                         pair_score_bound(options_, pl, tl), pl, tl)
+                  << " wavefront-arena bytes but a tasklet gets " << budget
+                  << ", and " << pl + tl << " sequence bytes against a "
+                  << seg_bases
+                  << "-base WRAM share; enable tile_long_pairs or lower "
+                     "nr_tasklets");
+      PIMWFA_ARG_CHECK(options_.virtual_total_pairs == 0,
+                       "long-pair tiling cannot run virtual batches: every "
+                       "segment must be materialized and stitched");
+      PIMWFA_ARG_CHECK(
+          simulated == logical,
+          "long-pair tiling requires full simulation (simulate_dpus = 0)");
+
+      // Plan the segments, then re-probe with the segment batch's real
+      // geometry: extra records shrink the per-tasklet arena, so replan
+      // under the smaller budget until the plan is self-consistent.
+      TiledBatch tiled;
+      u64 plan_budget = budget;
+      for (int attempt = 0;; ++attempt) {
+        tiled.segments.clear();
+        tiled.pair_ranges.clear();
+        TilingConfig config;
+        config.penalties = options_.penalties;
+        config.arena_budget_bytes = plan_budget;
+        config.max_segment_bases = seg_bases;
+        config.score_cap = options_.max_score;
+        TilingPlanner planner(config);
+        auto next = oversized.begin();
+        for (usize p = 0; p < batch.size(); ++p) {
+          const usize first = tiled.segments.size();
+          if (next != oversized.end() && *next == p) {
+            ++next;
+            planner.plan_pair(p, batch.pattern(p), batch.text(p),
+                              tiled.segments);
+          } else {
+            TileSegment whole;
+            whole.pair = p;
+            whole.v1 = batch.pattern(p).size();
+            whole.h1 = batch.text(p).size();
+            tiled.segments.push_back(whole);
+          }
+          tiled.pair_ranges.emplace_back(first, tiled.segments.size());
+        }
+        tiled.max_pattern = 0;
+        tiled.max_text = 0;
+        for (const TileSegment& s : tiled.segments) {
+          tiled.max_pattern = std::max(tiled.max_pattern, s.pattern_length());
+          tiled.max_text = std::max(tiled.max_text, s.text_length());
+        }
+        const u64 actual = tiling_arena_budget(
+            options_, run.full,
+            (tiled.segments.size() + logical - 1) / logical,
+            tiled.max_pattern, tiled.max_text);
+        if (actual >= plan_budget) break;
+        PIMWFA_CHECK(attempt < 4,
+                     "long-pair tiling failed to converge on an arena budget "
+                     "(last " << actual << " bytes per tasklet)");
+        plan_budget = actual;
+      }
+
+      PimOptions tiled_options = options_;
+      tiled_options.max_score =
+          span_score_cap(options_, tiled.max_pattern, tiled.max_text);
+      BatchRun tiled_run{tiled_options, batch, system};
+      tiled_run.full = run.full;
+      tiled_run.logical = logical;
+      tiled_run.simulated = simulated;
+      tiled_run.max_pattern = tiled.max_pattern;
+      tiled_run.max_text = tiled.max_text;
+      tiled_run.virtual_n = tiled.segments.size();
+      // Pipelined mode falls back to the synchronous tiled path.
+      return run_tiled(tiled_run, tiled, batch.size(), pool);
+    }
   }
 
   if (options_.pipeline && run.virtual_n > 0) {

@@ -58,6 +58,18 @@ struct PimOptions {
   usize virtual_total_pairs = 0;
   KernelCosts costs = kDefaultKernelCosts;
 
+  // --- long-pair tiling -------------------------------------------------
+  // Split pairs that exceed a tasklet's WRAM share (sequence buffers) or
+  // per-tasklet MRAM arena (wavefront metadata) into breakpoint-delimited
+  // segments planned host-side (pim/tiling.hpp), run the segments as
+  // ordinary records, and stitch the results back into one alignment -
+  // scores and CIGARs stay bit-identical to an untiled run. When off, an
+  // oversized pair raises Error naming the pair and the shortfall.
+  bool tile_long_pairs = true;
+  // Segment size bound in pattern+text bases (0 = derive from the per-
+  // tasklet WRAM share). Pairs at or under the bound run untiled.
+  usize tile_max_segment_bases = 0;
+
   // --- pipelined execution ---------------------------------------------
   // Overlap scatter/kernel/gather across chunks of the batch. Falls back
   // to the synchronous path when the planner decides one chunk is best.
@@ -99,6 +111,10 @@ struct PimTimings {
   usize logical_dpus = 0;
   usize simulated_dpus = 0;
   usize nr_tasklets = 0;
+
+  // --- long-pair tiling (zero for untiled runs) -------------------------
+  usize tiled_pairs = 0;     // pairs that were split into >1 segment
+  usize tile_segments = 0;   // segment records executed on the DPUs
 
   // --- pipelined execution (chunks > 1; zero otherwise) ----------------
   usize chunks = 1;
@@ -143,6 +159,13 @@ class PimBatchAligner final : public align::BatchAligner {
   std::string name() const override;
 
   const PimOptions& options() const noexcept { return options_; }
+
+  // Would align_batch route this batch through the long-pair tiling path?
+  // Callers that cannot serve a tiled run - e.g. the hybrid calibrator's
+  // virtual-prefix probe - use this to pick a different strategy up front
+  // instead of catching the tiled path's argument errors.
+  bool needs_tiling(seq::ReadPairSpan batch,
+                    align::AlignmentScope scope) const;
 
   // Pairs assigned to DPU `d` of `nr_dpus` for an n-pair batch: contiguous
   // blocks, first (n % nr_dpus) DPUs take the extra pair.

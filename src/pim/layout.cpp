@@ -47,11 +47,25 @@ BatchLayout BatchLayout::plan(const Params& params, u64 mram_bytes) {
   h.results_addr = h.pairs_addr + h.nr_pairs * h.pair_stride;
   h.result_stride = 8 + layout.cigar_pad_;
 
+  // A single pair's records must fit with room for the header and at
+  // least a minimal arena - otherwise no distribution can place the pair,
+  // and the caller needs tiling, not a smaller batch.
+  const u64 per_pair_bytes = h.pair_stride + h.result_stride;
+  PIMWFA_CHECK(
+      sizeof(BatchHeader) + per_pair_bytes < mram_bytes,
+      "one pair's MRAM records alone ("
+          << per_pair_bytes << " bytes for max lengths " << params.max_pattern
+          << "/" << params.max_text << ") exceed the " << mram_bytes
+          << "-byte MRAM budget; pairs this long need cross-DPU tiling "
+             "(pim/tiling.hpp)");
   const u64 scratch_begin =
       round_up_pow2(h.results_addr + h.nr_pairs * h.result_stride, 8);
   PIMWFA_CHECK(scratch_begin < mram_bytes,
-               "batch data alone exceeds MRAM (" << scratch_begin << " of "
-                                                 << mram_bytes << " bytes)");
+               "batch data ("
+                   << scratch_begin << " bytes for " << h.nr_pairs
+                   << " pairs) exceeds the " << mram_bytes
+                   << "-byte MRAM budget; shrink the per-DPU batch or tile "
+                      "long pairs (pim/tiling.hpp)");
 
   if (params.policy == MetadataPolicy::kMram) {
     // Split the remaining MRAM evenly into per-tasklet metadata arenas.

@@ -29,6 +29,17 @@
 
 namespace pimwfa::pim {
 
+// Long-pair tiling rides the boundary components of a segment (see
+// wfa::WfaAligner::Component and pim/tiling.hpp) in the top two bits of
+// the PairRecord length fields: 0 = M, 1 = I, 2 = D. Plain pairs encode
+// 0/0, so untiled batches are byte-identical to the pre-tiling format.
+inline constexpr u32 kPairLenMask = 0x3FFFFFFFu;
+inline constexpr u32 kPairCompShift = 30;
+
+inline constexpr u32 encode_pair_len(usize len, u32 comp) noexcept {
+  return static_cast<u32>(len) | (comp << kPairCompShift);
+}
+
 enum class MetadataPolicy : u32 {
   kMram = 0,  // paper's design: metadata in MRAM, staged through WRAM
   kWram = 1,  // ablation: metadata wholly in WRAM (limits tasklet count)

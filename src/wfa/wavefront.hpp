@@ -64,6 +64,10 @@ struct WfaCounters {
   u64 backtrace_ops = 0;     // CIGAR operations emitted by backtrace
   u64 max_score = 0;         // largest final score observed
   u64 allocated_bytes = 0;   // wavefront memory allocated (sum over pairs)
+  // Peak wavefront bytes live at once for any single alignment: the
+  // memory-mode figure of merit (kHigh grows O(s^2), kLow/kUltralow stay
+  // O(s)). Merged with max, not sum, across workers.
+  u64 peak_wavefront_bytes = 0;
 
   void reset() { *this = WfaCounters{}; }
 
@@ -77,6 +81,9 @@ struct WfaCounters {
     backtrace_ops += other.backtrace_ops;
     if (other.max_score > max_score) max_score = other.max_score;
     allocated_bytes += other.allocated_bytes;
+    if (other.peak_wavefront_bytes > peak_wavefront_bytes) {
+      peak_wavefront_bytes = other.peak_wavefront_bytes;
+    }
   }
 };
 

@@ -1,6 +1,7 @@
 #include "wfa/wfa_aligner.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/check.hpp"
 
@@ -9,6 +10,47 @@ namespace {
 
 inline Offset max3(Offset a, Offset b, Offset c) noexcept {
   return std::max(a, std::max(b, c));
+}
+
+using Component = WfaAligner::Component;
+
+// True when wavefront row `set` completes a (sub)alignment that must end
+// in `end`: that component's offset on the final diagonal reaches the end
+// of the text.
+bool hits_end(const WavefrontSet& set, Component end, i32 k_final, i32 tl) {
+  const Wavefront& w = end == Component::kM   ? set.m
+                       : end == Component::kI ? set.i
+                                              : set.d;
+  return w.exists && w.at(k_final) >= tl;
+}
+
+// Gap-affine cost of `cigar` under span-boundary charging: a CIGAR that
+// opens with the gap run it entered through (begin == kI/kD) pays no
+// gap_open for that leading run - the upstream half already paid it.
+i64 span_cost(const seq::Cigar& cigar, const align::Penalties& p,
+              Component begin) {
+  i64 cost = cigar.affine_score(p.mismatch, p.gap_open, p.gap_extend);
+  if (!cigar.empty()) {
+    const char first = cigar.ops().front();
+    if ((begin == Component::kI && first == 'I') ||
+        (begin == Component::kD && first == 'D')) {
+      cost -= p.gap_open;
+    }
+  }
+  return cost;
+}
+
+// Peak payload bytes a retained (kHigh) pass over this subproblem would
+// bind: 3 components x sizeof(Offset) per diagonal, widths growing 2s+1
+// until capped by the full band. Drives the kUltralow base-case cut.
+u64 retained_bytes_estimate(i64 score, usize plen, usize tlen) {
+  const i64 band = static_cast<i64>(plen + tlen + 1);
+  const i64 knee = std::min(score, (band - 1) / 2);
+  const u64 growing = static_cast<u64>(knee + 1) * static_cast<u64>(knee + 1);
+  const u64 flat = score > knee
+                       ? static_cast<u64>(score - knee) * static_cast<u64>(band)
+                       : 0;
+  return (growing + flat) * 3u * sizeof(Offset);
 }
 
 }  // namespace
@@ -22,11 +64,23 @@ WfaAligner::WfaAligner(Options options, WavefrontAllocator* allocator)
   PIMWFA_ARG_CHECK(
       kernels_.match_run != nullptr && kernels_.compute_row != nullptr,
       "WfaKernels must provide both match_run and compute_row");
+  PIMWFA_ARG_CHECK(
+      !(options_.memory_mode == MemoryMode::kUltralow &&
+        options_.heuristic.enabled),
+      "MemoryMode::kUltralow is exact and incompatible with the adaptive "
+      "heuristic");
   if (allocator != nullptr) {
     allocator_ = allocator;
   } else {
     owned_allocator_ = std::make_unique<SlabAllocator>();
     allocator_ = owned_allocator_.get();
+  }
+}
+
+void WfaAligner::note_live_bytes() {
+  const u64 live = retained_bytes_ + ring_.live_bytes + rev_ring_.live_bytes;
+  if (live > counters_.peak_wavefront_bytes) {
+    counters_.peak_wavefront_bytes = live;
   }
 }
 
@@ -49,6 +103,8 @@ Wavefront WfaAligner::new_wavefront(i32 lo, i32 hi) {
   }
   wf.offsets = base + kWavefrontPad;
   counters_.allocated_bytes += width * sizeof(Offset);
+  retained_bytes_ += width * sizeof(Offset);
+  note_live_bytes();
   return wf;
 }
 
@@ -184,7 +240,8 @@ void WfaAligner::reduce(WavefrontSet& set, i32 plen, i32 tlen) {
 }
 
 seq::Cigar WfaAligner::backtrace(i64 final_score, std::string_view pattern,
-                                 std::string_view text) {
+                                 std::string_view text, Component begin,
+                                 Component end) {
   const i32 x = options_.penalties.mismatch;
   const i32 oe = options_.penalties.gap_open + options_.penalties.gap_extend;
   const i32 e = options_.penalties.gap_extend;
@@ -196,7 +253,9 @@ seq::Cigar WfaAligner::backtrace(i64 final_score, std::string_view pattern,
   i64 s = final_score;
   i32 k = tl - pl;
   Offset off = tl;
-  State state = State::kM;
+  State state = end == Component::kM   ? State::kM
+                : end == Component::kI ? State::kI
+                                       : State::kD;
 
   while (true) {
     const usize si = static_cast<usize>(s);
@@ -229,6 +288,8 @@ seq::Cigar WfaAligner::backtrace(i64 final_score, std::string_view pattern,
         state = State::kD;
       }
     } else if (state == State::kI) {
+      // The span seed I[0][0] is the entry state, not an operation.
+      if (begin == Component::kI && s == 0 && k == 0 && off == 0) break;
       cigar.push('I');
       const Offset open_src =
           (s >= oe) ? sets_[si - static_cast<usize>(oe)].m.at(k - 1)
@@ -246,6 +307,7 @@ seq::Cigar WfaAligner::backtrace(i64 final_score, std::string_view pattern,
       --off;
       --k;
     } else {
+      if (begin == Component::kD && s == 0 && k == 0 && off == 0) break;
       cigar.push('D');
       const Offset open_src =
           (s >= oe) ? sets_[si - static_cast<usize>(oe)].m.at(k + 1)
@@ -268,123 +330,434 @@ seq::Cigar WfaAligner::backtrace(i64 final_score, std::string_view pattern,
   return cigar;
 }
 
-i64 WfaAligner::score_low_memory(std::string_view pattern,
-                                 std::string_view text, i64 score_cap) {
+Wavefront WfaAligner::bind_ring_front(ScoreRing& ring, RingSlot& slot,
+                                      std::vector<Offset>& storage, i32 lo,
+                                      i32 hi) {
+  // Rebind a slot's component over its backing vector (padded like
+  // new_wavefront so the kernel's overhang contract holds here too).
+  const usize width = static_cast<usize>(hi - lo + 1);
+  storage.resize(width + 2 * kWavefrontPad);
+  for (usize i = 0; i < kWavefrontPad; ++i) {
+    storage[i] = kOffsetNone;
+    storage[kWavefrontPad + width + i] = kOffsetNone;
+  }
+  Wavefront wf;
+  wf.exists = true;
+  wf.lo = lo;
+  wf.hi = hi;
+  wf.offsets = storage.data() + kWavefrontPad;
+  const u64 bytes = width * sizeof(Offset);
+  slot.bytes += bytes;
+  ring.live_bytes += bytes;
+  counters_.allocated_bytes += bytes;
+  note_live_bytes();
+  return wf;
+}
+
+void WfaAligner::ring_release(ScoreRing& ring) {
+  for (RingSlot& slot : ring.slots) {
+    slot.set = WavefrontSet{};
+    slot.bytes = 0;
+  }
+  ring.live_bytes = 0;
+}
+
+void WfaAligner::update_progress(ScoreRing& ring, const Wavefront& m) {
+  if (!m.exists) return;
+  for (i32 k = m.lo; k <= m.hi; ++k) {
+    const Offset off = m.offsets[k - m.lo];
+    if (!offset_reachable(off)) continue;
+    const i64 anti = 2 * static_cast<i64>(off) - k;
+    if (anti > ring.max_antidiag) ring.max_antidiag = anti;
+  }
+}
+
+void WfaAligner::ring_init(ScoreRing& ring, std::string_view pattern,
+                           std::string_view text, Component begin) {
+  const i32 x = options_.penalties.mismatch;
+  const i32 oe = options_.penalties.gap_open + options_.penalties.gap_extend;
+  // Deepest lookback is max(x, o+e); one extra slot for the one being
+  // written.
+  ring.ring_size = static_cast<usize>(std::max(x, oe)) + 1;
+  if (ring.slots.size() < ring.ring_size) ring.slots.resize(ring.ring_size);
+  for (RingSlot& slot : ring.slots) {
+    slot.set = WavefrontSet{};
+    slot.bytes = 0;
+  }
+  ring.live_bytes = 0;
+  ring.score = 0;
+  ring.max_antidiag = -1;
+  ring.pattern = pattern;
+  ring.text = text;
+  ring.begin = begin;
+
+  // Score 0 seed; a kI/kD begin component also seeds its gap state (with
+  // the free gap-to-M transition), so the seam run extends at gap_extend
+  // cost without re-paying gap_open.
+  RingSlot& slot = ring.slots[0];
+  slot.set.m = bind_ring_front(ring, slot, slot.m, 0, 0);
+  slot.set.m.set(0, 0);
+  if (begin == Component::kI) {
+    slot.set.i = bind_ring_front(ring, slot, slot.i, 0, 0);
+    slot.set.i.set(0, 0);
+  } else if (begin == Component::kD) {
+    slot.set.d = bind_ring_front(ring, slot, slot.d, 0, 0);
+    slot.set.d.set(0, 0);
+  }
+  extend_and_check(slot.set.m, pattern, text);
+  update_progress(ring, slot.set.m);
+}
+
+const WavefrontSet* WfaAligner::ring_row(const ScoreRing& ring,
+                                         i64 score) const {
+  if (score < 0 || score > ring.score ||
+      score <= ring.score - static_cast<i64>(ring.ring_size)) {
+    return nullptr;
+  }
+  const WavefrontSet& set =
+      ring.slots[static_cast<usize>(score) % ring.ring_size].set;
+  return set.any_exists() ? &set : nullptr;
+}
+
+const WavefrontSet& WfaAligner::ring_step(ScoreRing& ring) {
   const i32 x = options_.penalties.mismatch;
   const i32 oe = options_.penalties.gap_open + options_.penalties.gap_extend;
   const i32 e = options_.penalties.gap_extend;
+  const i32 pl = static_cast<i32>(ring.pattern.size());
+  const i32 tl = static_cast<i32>(ring.text.size());
+
+  ++ring.score;
+  ++counters_.score_steps;
+  const i64 score = ring.score;
+  RingSlot& out_slot = ring.slots[static_cast<usize>(score) % ring.ring_size];
+  ring.live_bytes -= out_slot.bytes;
+  out_slot.bytes = 0;
+  out_slot.set = WavefrontSet{};  // clears the expired score-(ring) set
+
+  // NOTE: sources can alias the output slot only if ring_size were too
+  // small; ring_size > max lookback guarantees distinct slots.
+  const WavefrontSet* sub_row = (score >= x) ? ring_row(ring, score - x)
+                                             : nullptr;
+  const WavefrontSet* gap_row = (score >= oe) ? ring_row(ring, score - oe)
+                                              : nullptr;
+  const WavefrontSet* ext_row = (score >= e) ? ring_row(ring, score - e)
+                                             : nullptr;
+  const Wavefront* m_sub =
+      (sub_row != nullptr && sub_row->m.exists) ? &sub_row->m : nullptr;
+  const Wavefront* m_gap =
+      (gap_row != nullptr && gap_row->m.exists) ? &gap_row->m : nullptr;
+  const Wavefront* i_ext =
+      (ext_row != nullptr && ext_row->i.exists) ? &ext_row->i : nullptr;
+  const Wavefront* d_ext =
+      (ext_row != nullptr && ext_row->d.exists) ? &ext_row->d : nullptr;
+  if (m_sub == nullptr && m_gap == nullptr && i_ext == nullptr &&
+      d_ext == nullptr) {
+    return out_slot.set;  // hole
+  }
+
+  i32 lo = std::numeric_limits<i32>::max();
+  i32 hi = std::numeric_limits<i32>::min();
+  for (const Wavefront* w : {m_sub, m_gap, i_ext, d_ext}) {
+    if (w == nullptr) continue;
+    lo = std::min(lo, w->lo - 1);
+    hi = std::max(hi, w->hi + 1);
+  }
+  lo = std::max(lo, -pl);
+  hi = std::min(hi, tl);
+  if (lo > hi) return out_slot.set;
+
+  out_slot.set.m = bind_ring_front(ring, out_slot, out_slot.m, lo, hi);
+  out_slot.set.i = bind_ring_front(ring, out_slot, out_slot.i, lo, hi);
+  out_slot.set.d = bind_ring_front(ring, out_slot, out_slot.d, lo, hi);
+  ComputeRowArgs args;
+  args.m_sub = m_sub;
+  args.m_gap = m_gap;
+  args.i_ext = i_ext;
+  args.d_ext = d_ext;
+  args.out_m = &out_slot.set.m;
+  args.out_i = &out_slot.set.i;
+  args.out_d = &out_slot.set.d;
+  args.lo = lo;
+  args.hi = hi;
+  args.pl = pl;
+  args.tl = tl;
+  kernels_.compute_row(args);
+  counters_.computed_cells += 3 * static_cast<u64>(hi - lo + 1);
+  ++counters_.wavefront_sets;
+  extend_and_check(out_slot.set.m, ring.pattern, ring.text);
+  update_progress(ring, out_slot.set.m);
+  return out_slot.set;
+}
+
+i64 WfaAligner::score_low_memory(std::string_view pattern,
+                                 std::string_view text, i64 score_cap,
+                                 Component begin, Component end) {
+  const i32 tl = static_cast<i32>(text.size());
+  const i32 k_final = tl - static_cast<i32>(pattern.size());
+  ring_init(ring_, pattern, text, begin);
+  bool done = hits_end(ring_.slots[0].set, end, k_final, tl);
+  while (!done) {
+    PIMWFA_CHECK(ring_.score < score_cap,
+                 "WFA exceeded score cap " << score_cap << " (max_score option)");
+    done = hits_end(ring_step(ring_), end, k_final, tl);
+  }
+  const i64 score = ring_.score;
+  ring_release(ring_);
+  return score;
+}
+
+WfaAligner::Breakpoint WfaAligner::find_breakpoint(std::string_view pattern,
+                                                   std::string_view text,
+                                                   Component begin,
+                                                   Component end,
+                                                   i64 score_cap) {
+  PIMWFA_ARG_CHECK(!pattern.empty() && !text.empty(),
+                   "find_breakpoint requires non-empty pattern and text");
   const i32 pl = static_cast<i32>(pattern.size());
   const i32 tl = static_cast<i32>(text.size());
-  // Deepest lookback is max(x, o+e); one extra slot for the one being
-  // written.
-  const usize ring_size = static_cast<usize>(std::max(x, oe)) + 1;
-  if (ring_.size() < ring_size) ring_.resize(ring_size);
-  for (RingSlot& slot : ring_) slot.set = WavefrontSet{};
+  const i32 o = options_.penalties.gap_open;
+  const i32 k_final = tl - pl;
+  const i64 total_antidiag = static_cast<i64>(pl) + tl;
 
-  auto slot_of = [&](i64 score) -> RingSlot& {
-    return ring_[static_cast<usize>(score) % ring_size];
-  };
-  auto set_at = [&](i64 score) -> const WavefrontSet& {
-    return slot_of(score).set;
-  };
-  // Rebind a slot's component over its backing vector (padded like
-  // new_wavefront so the kernel's overhang contract holds here too).
-  auto make_front = [&](std::vector<Offset>& storage, i32 lo,
-                        i32 hi) -> Wavefront {
-    const usize width = static_cast<usize>(hi - lo + 1);
-    storage.resize(width + 2 * kWavefrontPad);
-    for (usize i = 0; i < kWavefrontPad; ++i) {
-      storage[i] = kOffsetNone;
-      storage[kWavefrontPad + width + i] = kOffsetNone;
+  // The reverse direction aligns the reversed strings; its begin component
+  // is this problem's end component. A kI/kD end seeds the reverse gap
+  // state, which leaves the END run's gap_open uncharged by the reverse
+  // direction - every candidate total below re-adds it (end_shift).
+  rev_pattern_.assign(pattern.rbegin(), pattern.rend());
+  rev_text_.assign(text.rbegin(), text.rend());
+  ring_init(ring_, pattern, text, begin);
+  ring_init(rev_ring_, rev_pattern_, rev_text_, end);
+
+  const i64 end_shift = (end == Component::kM) ? 0 : o;
+  Breakpoint best;
+  best.total = std::numeric_limits<i64>::max();
+  bool found = false;
+
+  // Candidate totals for a meet of forward row sf against reverse row sr:
+  // an M-meet costs sf+sr; an I/D-meet merges one gap run that both
+  // directions opened, sf+sr-o. Meets live on complementary diagonals
+  // (k + k_rev == k_final) where the offsets jointly span the text.
+  auto scan_pair = [&](const WavefrontSet& fset, i64 sf,
+                       const WavefrontSet& rset, i64 sr) {
+    struct Cand {
+      Component comp;
+      const Wavefront* f;
+      const Wavefront* r;
+      i64 extra;
+    };
+    const Cand cands[3] = {
+        {Component::kM, &fset.m, &rset.m, end_shift},
+        {Component::kI, &fset.i, &rset.i, end_shift - o},
+        {Component::kD, &fset.d, &rset.d, end_shift - o},
+    };
+    for (const Cand& c : cands) {
+      const i64 total = sf + sr + c.extra;
+      if (total >= best.total) continue;
+      if (!c.f->exists || !c.r->exists) continue;
+      const i32 k_lo = std::max(c.f->lo, k_final - c.r->hi);
+      const i32 k_hi = std::min(c.f->hi, k_final - c.r->lo);
+      for (i32 k = k_lo; k <= k_hi; ++k) {
+        const Offset hf = c.f->at(k);
+        if (!offset_reachable(hf)) continue;
+        const Offset hr = c.r->at(k_final - k);
+        if (!offset_reachable(hr)) continue;
+        if (static_cast<i64>(hf) + hr < tl) continue;
+        best.total = total;
+        best.score_forward = sf;
+        best.score_reverse = sr;
+        best.k = k;
+        best.offset = hf;
+        best.comp = c.comp;
+        found = true;
+        break;
+      }
     }
-    Wavefront wf;
-    wf.exists = true;
-    wf.lo = lo;
-    wf.hi = hi;
-    wf.offsets = storage.data() + kWavefrontPad;
-    counters_.allocated_bytes += width * sizeof(Offset);
-    return wf;
   };
+  auto scan_new_row = [&](bool forward_new) {
+    const ScoreRing& a = forward_new ? ring_ : rev_ring_;
+    const ScoreRing& b = forward_new ? rev_ring_ : ring_;
+    const WavefrontSet* row_a = ring_row(a, a.score);
+    if (row_a == nullptr) return;
+    const i64 sb_lo =
+        std::max<i64>(0, b.score - static_cast<i64>(b.ring_size) + 1);
+    for (i64 sb = sb_lo; sb <= b.score; ++sb) {
+      const WavefrontSet* row_b = ring_row(b, sb);
+      if (row_b == nullptr) continue;
+      if (forward_new) {
+        scan_pair(*row_a, a.score, *row_b, sb);
+      } else {
+        scan_pair(*row_b, sb, *row_a, a.score);
+      }
+    }
+  };
+  // Tiny problems: the two score-0 rows may already overlap.
+  if (ring_.max_antidiag + rev_ring_.max_antidiag >= total_antidiag) {
+    scan_new_row(true);
+  }
 
-  // Score 0 seed.
-  {
-    RingSlot& slot = slot_of(0);
-    slot.set = WavefrontSet{};
-    slot.set.m = make_front(slot.m, 0, 0);
-    slot.set.m.set(0, 0);
+  const i64 lookback = static_cast<i64>(ring_.ring_size) - 1;
+  while (true) {
+    // Cheapest total any not-yet-scanned (sf, sr) pair could still
+    // produce: every future scan pairs a strictly newer row with a window
+    // partner at most `lookback` behind the then-current opposite score.
+    const i64 future_min = ring_.score + rev_ring_.score + 1 - lookback - o;
+    if (found && future_min >= best.total) break;
+    PIMWFA_CHECK(future_min <= score_cap,
+                 "WFA exceeded score cap " << score_cap << " (max_score option)");
+    // Advance the direction that has made less anti-diagonal progress, so
+    // an unbalanced optimal split (errors clustered in one half) still
+    // meets inside the retained window.
+    const bool forward = ring_.max_antidiag <= rev_ring_.max_antidiag;
+    ring_step(forward ? ring_ : rev_ring_);
+    if (ring_.max_antidiag + rev_ring_.max_antidiag >= total_antidiag) {
+      scan_new_row(forward);
+    }
+  }
+  ring_release(ring_);
+  ring_release(rev_ring_);
+  PIMWFA_CHECK(best.total <= score_cap,
+               "WFA exceeded score cap " << score_cap << " (max_score option)");
+  return best;
+}
+
+i64 WfaAligner::ultralow_recurse(std::string_view pattern,
+                                 std::string_view text, Component begin,
+                                 Component end, i64 score_cap,
+                                 seq::Cigar& out) {
+  const usize plen = pattern.size();
+  const usize tlen = text.size();
+  const i32 o = options_.penalties.gap_open;
+  const i32 e = options_.penalties.gap_extend;
+
+  // Degenerate halves: a single gap run, free of gap_open when it
+  // continues the begin component's seam run.
+  if (plen == 0 || tlen == 0) {
+    for (usize i = 0; i < tlen; ++i) out.push('I');
+    for (usize i = 0; i < plen; ++i) out.push('D');
+    if (tlen > 0) {
+      return (begin == Component::kI ? 0 : o) + static_cast<i64>(tlen) * e;
+    }
+    if (plen > 0) {
+      return (begin == Component::kD ? 0 : o) + static_cast<i64>(plen) * e;
+    }
+    return 0;
+  }
+
+  const Breakpoint bp = find_breakpoint(pattern, text, begin, end, score_cap);
+  const i32 v = bp.offset - bp.k;
+  const i32 h = bp.offset;
+  const bool corner =
+      (v == 0 && h == 0) ||
+      (v == static_cast<i32>(plen) && h == static_cast<i32>(tlen));
+  if (corner || retained_bytes_estimate(bp.total, plen, tlen) <=
+                    options_.ultralow_base_wavefront_bytes) {
+    align::AlignmentResult res = align_retained(
+        pattern, text, align::AlignmentScope::kFull, begin, end, bp.total);
+    PIMWFA_CHECK(res.score == bp.total,
+                 "kUltralow base case score " << res.score
+                                              << " != bidirectional score "
+                                              << bp.total);
+    for (char op : res.cigar.ops()) out.push(op);
+    return bp.total;
+  }
+
+  // The right half's own cost can exceed bp.score_reverse by the end-run's
+  // gap_open that the reverse seeding exempted (see find_breakpoint).
+  const i64 end_shift = (end == Component::kM) ? 0 : o;
+  const i64 left = ultralow_recurse(pattern.substr(0, static_cast<usize>(v)),
+                                    text.substr(0, static_cast<usize>(h)),
+                                    begin, bp.comp, bp.score_forward, out);
+  const i64 right = ultralow_recurse(pattern.substr(static_cast<usize>(v)),
+                                     text.substr(static_cast<usize>(h)),
+                                     bp.comp, end,
+                                     bp.score_reverse + end_shift, out);
+  PIMWFA_CHECK(left + right == bp.total,
+               "kUltralow halves cost " << left << "+" << right
+                                        << " != bidirectional score "
+                                        << bp.total);
+  return bp.total;
+}
+
+align::AlignmentResult WfaAligner::align_retained(std::string_view pattern,
+                                                  std::string_view text,
+                                                  align::AlignmentScope scope,
+                                                  Component begin,
+                                                  Component end,
+                                                  i64 score_cap) {
+  const usize plen = pattern.size();
+  const usize tlen = text.size();
+  const i32 tl = static_cast<i32>(tlen);
+  const i32 k_final = tl - static_cast<i32>(plen);
+  allocator_->reset();
+  sets_.clear();
+  retained_bytes_ = 0;
+
+  sets_.emplace_back();
+  sets_[0].m = new_wavefront(0, 0);
+  sets_[0].m.set(0, 0);
+  if (begin == Component::kI) {
+    sets_[0].i = new_wavefront(0, 0);
+    sets_[0].i.set(0, 0);
+  } else if (begin == Component::kD) {
+    sets_[0].d = new_wavefront(0, 0);
+    sets_[0].d.set(0, 0);
   }
   i64 score = 0;
-  bool done = extend_and_check(slot_of(0).set.m, pattern, text);
+  extend_and_check(sets_[0].m, pattern, text);
+  bool done = hits_end(sets_[0], end, k_final, tl);
   while (!done) {
+    if (options_.heuristic.enabled) {
+      reduce(sets_[static_cast<usize>(score)], static_cast<i32>(plen),
+             static_cast<i32>(tlen));
+    }
     ++score;
     ++counters_.score_steps;
     PIMWFA_CHECK(score <= score_cap,
                  "WFA exceeded score cap " << score_cap << " (max_score option)");
-    const Wavefront* m_sub = (score >= x) ? &set_at(score - x).m : nullptr;
-    const Wavefront* m_gap = (score >= oe) ? &set_at(score - oe).m : nullptr;
-    const Wavefront* i_ext = (score >= e) ? &set_at(score - e).i : nullptr;
-    const Wavefront* d_ext = (score >= e) ? &set_at(score - e).d : nullptr;
-    auto live = [](const Wavefront* w) { return w != nullptr && w->exists; };
-
-    RingSlot& out_slot = slot_of(score);
-    out_slot.set = WavefrontSet{};  // clears the expired score-(ring) set
-    if (!live(m_sub) && !live(m_gap) && !live(i_ext) && !live(d_ext)) {
-      continue;  // hole
-    }
-    i32 lo = std::numeric_limits<i32>::max();
-    i32 hi = std::numeric_limits<i32>::min();
-    for (const Wavefront* w : {m_sub, m_gap, i_ext, d_ext}) {
-      if (!live(w)) continue;
-      lo = std::min(lo, w->lo - 1);
-      hi = std::max(hi, w->hi + 1);
-    }
-    lo = std::max(lo, -pl);
-    hi = std::min(hi, tl);
-    if (lo > hi) continue;
-
-    // NOTE: sources can alias the output slot only if ring_size were too
-    // small; ring_size > max lookback guarantees distinct slots.
-    out_slot.set.m = make_front(out_slot.m, lo, hi);
-    out_slot.set.i = make_front(out_slot.i, lo, hi);
-    out_slot.set.d = make_front(out_slot.d, lo, hi);
-    ComputeRowArgs args;
-    args.m_sub = live(m_sub) ? m_sub : nullptr;
-    args.m_gap = live(m_gap) ? m_gap : nullptr;
-    args.i_ext = live(i_ext) ? i_ext : nullptr;
-    args.d_ext = live(d_ext) ? d_ext : nullptr;
-    args.out_m = &out_slot.set.m;
-    args.out_i = &out_slot.set.i;
-    args.out_d = &out_slot.set.d;
-    args.lo = lo;
-    args.hi = hi;
-    args.pl = pl;
-    args.tl = tl;
-    kernels_.compute_row(args);
-    counters_.computed_cells += 3 * static_cast<u64>(hi - lo + 1);
-    ++counters_.wavefront_sets;
-    done = extend_and_check(out_slot.set.m, pattern, text);
+    compute_next(score, plen, tlen);
+    WavefrontSet& set = sets_[static_cast<usize>(score)];
+    if (set.m.exists) extend_and_check(set.m, pattern, text);
+    done = hits_end(set, end, k_final, tl);
   }
-  return score;
+
+  align::AlignmentResult result;
+  result.score = score;
+  if (scope == align::AlignmentScope::kFull) {
+    result.cigar = backtrace(score, pattern, text, begin, end);
+    result.has_cigar = true;
+  }
+  counters_.max_score = std::max(counters_.max_score, static_cast<u64>(score));
+  return result;
 }
 
 align::AlignmentResult WfaAligner::align(std::string_view pattern,
                                          std::string_view text,
                                          align::AlignmentScope scope) {
+  return align_span(pattern, text, scope, Component::kM, Component::kM);
+}
+
+align::AlignmentResult WfaAligner::align_span(std::string_view pattern,
+                                              std::string_view text,
+                                              align::AlignmentScope scope,
+                                              Component begin, Component end) {
   const usize plen = pattern.size();
   const usize tlen = text.size();
   ++counters_.alignments;
-  allocator_->reset();
-  sets_.clear();
 
   align::AlignmentResult result;
 
-  // Degenerate inputs: the alignment is a single gap (or nothing).
+  // Degenerate inputs: the alignment is a single gap (or nothing), free of
+  // gap_open when it continues the begin component's seam run.
   if (plen == 0 || tlen == 0) {
-    const usize gap = plen + tlen;
-    result.score =
-        gap == 0 ? 0
-                 : options_.penalties.gap_open +
-                       static_cast<i64>(gap) * options_.penalties.gap_extend;
+    const i32 o = options_.penalties.gap_open;
+    const i32 e = options_.penalties.gap_extend;
+    if (tlen > 0) {
+      result.score =
+          (begin == Component::kI ? 0 : o) + static_cast<i64>(tlen) * e;
+    } else if (plen > 0) {
+      result.score =
+          (begin == Component::kD ? 0 : o) + static_cast<i64>(plen) * e;
+    }
     if (scope == align::AlignmentScope::kFull) {
       seq::Cigar cigar;
       for (usize i = 0; i < tlen; ++i) cigar.push('I');
@@ -402,42 +775,44 @@ align::AlignmentResult WfaAligner::align(std::string_view pattern,
           ? options_.max_score
           : align::worst_case_score(options_.penalties, plen, tlen);
 
-  if (options_.memory_mode == MemoryMode::kLow &&
-      scope == align::AlignmentScope::kScoreOnly &&
-      !options_.heuristic.enabled) {
-    result.score = score_low_memory(pattern, text, score_cap);
+  if (options_.memory_mode == MemoryMode::kUltralow) {
+    if (scope == align::AlignmentScope::kScoreOnly) {
+      result.score = find_breakpoint(pattern, text, begin, end, score_cap).total;
+    } else {
+      seq::Cigar cigar;
+      const i64 total =
+          ultralow_recurse(pattern, text, begin, end, score_cap, cigar);
+      // The stitched CIGAR is verified before it leaves: it must consume
+      // exactly the inputs and cost exactly the bidirectional score.
+      PIMWFA_CHECK(
+          cigar.pattern_length() == plen && cigar.text_length() == tlen,
+          "kUltralow stitched CIGAR consumes " << cigar.pattern_length() << "/"
+                                               << cigar.text_length()
+                                               << " of " << plen << "/"
+                                               << tlen);
+      const i64 cost = span_cost(cigar, options_.penalties, begin);
+      PIMWFA_CHECK(cost == total, "kUltralow stitched CIGAR costs "
+                                      << cost << ", bidirectional score is "
+                                      << total);
+      result.score = total;
+      result.cigar = std::move(cigar);
+      result.has_cigar = true;
+    }
     counters_.max_score =
         std::max(counters_.max_score, static_cast<u64>(result.score));
     return result;
   }
 
-  sets_.emplace_back();
-  sets_[0].m = new_wavefront(0, 0);
-  sets_[0].m.set(0, 0);
-  i64 score = 0;
-  bool done = extend_and_check(sets_[0].m, pattern, text);
-  while (!done) {
-    if (options_.heuristic.enabled) {
-      reduce(sets_[static_cast<usize>(score)], static_cast<i32>(plen),
-             static_cast<i32>(tlen));
-    }
-    ++score;
-    ++counters_.score_steps;
-    PIMWFA_CHECK(score <= score_cap,
-                 "WFA exceeded score cap " << score_cap << " (max_score option)");
-    compute_next(score, plen, tlen);
-    if (sets_[static_cast<usize>(score)].m.exists) {
-      done = extend_and_check(sets_[static_cast<usize>(score)].m, pattern, text);
-    }
+  if (options_.memory_mode == MemoryMode::kLow &&
+      scope == align::AlignmentScope::kScoreOnly &&
+      !options_.heuristic.enabled) {
+    result.score = score_low_memory(pattern, text, score_cap, begin, end);
+    counters_.max_score =
+        std::max(counters_.max_score, static_cast<u64>(result.score));
+    return result;
   }
 
-  result.score = score;
-  if (scope == align::AlignmentScope::kFull) {
-    result.cigar = backtrace(score, pattern, text);
-    result.has_cigar = true;
-  }
-  counters_.max_score = std::max(counters_.max_score, static_cast<u64>(score));
-  return result;
+  return align_retained(pattern, text, scope, begin, end, score_cap);
 }
 
 }  // namespace pimwfa::wfa

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -49,6 +50,31 @@ class WfaAligner final : public align::PairAligner {
     // to score-only alignment; full alignments always retain (a backtrace
     // needs the history).
     kLow,
+    // BiWFA (Marco-Sola et al. 2023): meet-in-the-middle bidirectional
+    // score-only rings find the optimal breakpoint, then recurse on the
+    // two halves until each fits a small kHigh base case. O(s) peak
+    // memory at ~2x compute; scores are bit-identical to kHigh and the
+    // stitched CIGAR is verified (its gap-affine cost must equal the
+    // bidirectional score). Works for both score-only and full scope.
+    kUltralow,
+  };
+
+  // Boundary component of a partial alignment. Long-read machinery
+  // (kUltralow recursion, PIM tiling) cuts a pair at a breakpoint that may
+  // sit inside a gap run; the two halves then begin/end mid-gap. A half
+  // that begins in kI/kD pays no gap_open for continuing the seam run
+  // (the opening half already paid it); a half that ends in kI/kD must
+  // end with that gap operation. kM at both ends is a plain alignment.
+  enum class Component : u8 { kM, kI, kD };
+
+  // Optimal meeting point reported by the bidirectional score pass.
+  struct Breakpoint {
+    i64 total = 0;          // optimal score of the whole (sub)problem
+    i64 score_forward = 0;  // forward-half score at the detected meet
+    i64 score_reverse = 0;  // reverse-half score at the detected meet
+    i32 k = 0;              // forward diagonal of the meet
+    Offset offset = 0;      // forward text offset of the meet
+    Component comp = Component::kM;  // component the meet lies in
   };
 
   struct Options {
@@ -58,6 +84,10 @@ class WfaAligner final : public align::PairAligner {
     // WFA into a thresholded aligner: exceeding pairs throw Error.
     i64 max_score = 0;
     MemoryMode memory_mode = MemoryMode::kHigh;
+    // kUltralow recursion switches to a retained (kHigh) base case once a
+    // subproblem's estimated wavefront arena fits this budget. Smaller
+    // budgets recurse deeper (lower peak memory, more recompute).
+    u64 ultralow_base_wavefront_bytes = 4u << 20;
     Heuristic heuristic{};
     // Inner-loop kernels (extend match scan + recurrence row). Null uses
     // the portable scalar defaults; the SIMD backend plugs in vectorized
@@ -74,6 +104,23 @@ class WfaAligner final : public align::PairAligner {
   align::AlignmentResult align(std::string_view pattern, std::string_view text,
                                align::AlignmentScope scope) override;
 
+  // Align a partial pair whose path enters in component `begin` and leaves
+  // in component `end` (see Component). Honors the configured memory mode;
+  // kM/kM is exactly align(). Used by the kUltralow recursion and by the
+  // PIM tiling planner/stitcher.
+  align::AlignmentResult align_span(std::string_view pattern,
+                                    std::string_view text,
+                                    align::AlignmentScope scope,
+                                    Component begin, Component end);
+
+  // Bidirectional score-only pass (BiWFA): forward and reverse ring
+  // wavefronts advance by anti-diagonal progress until they meet; returns
+  // the optimal score of the (sub)problem plus the meeting point to cut
+  // at. Requires non-empty pattern and text. Throws Error if the score
+  // cap is exceeded before a provably optimal meet is found.
+  Breakpoint find_breakpoint(std::string_view pattern, std::string_view text,
+                             Component begin, Component end, i64 score_cap);
+
   std::string name() const override {
     return options_.heuristic.enabled ? "wfa-adapt" : "wfa";
   }
@@ -89,6 +136,23 @@ class WfaAligner final : public align::PairAligner {
   WavefrontAllocator& allocator() noexcept { return *allocator_; }
 
  private:
+  // Ring storage for the score-only passes (kLow and each direction of
+  // kUltralow); slot vectors are retained across alignments.
+  struct RingSlot {
+    WavefrontSet set;
+    std::vector<Offset> m, i, d;
+    u64 bytes = 0;  // payload bytes currently bound into `set`
+  };
+  struct ScoreRing {
+    std::vector<RingSlot> slots;
+    usize ring_size = 0;
+    i64 score = -1;         // last computed score row
+    u64 live_bytes = 0;     // payload bound across all live rows
+    i64 max_antidiag = -1;  // furthest v+h sampled so far (progress)
+    std::string_view pattern, text;  // possibly reversed views
+    Component begin = Component::kM;
+  };
+
   Wavefront new_wavefront(i32 lo, i32 hi);
   // Extend matches along every diagonal of `m`; returns true if the
   // termination cell (k = tlen - plen reaching offset tlen) was hit.
@@ -96,25 +160,48 @@ class WfaAligner final : public align::PairAligner {
                         std::string_view text);
   // Compute wavefront set for `score` from stored predecessors.
   void compute_next(i64 score, usize plen, usize tlen);
+  // Seed/advance/query one score-only ring (the kLow machinery).
+  void ring_init(ScoreRing& ring, std::string_view pattern,
+                 std::string_view text, Component begin);
+  const WavefrontSet& ring_step(ScoreRing& ring);
+  const WavefrontSet* ring_row(const ScoreRing& ring, i64 score) const;
+  Wavefront bind_ring_front(ScoreRing& ring, RingSlot& slot,
+                            std::vector<Offset>& storage, i32 lo, i32 hi);
+  void ring_release(ScoreRing& ring);
+  void update_progress(ScoreRing& ring, const Wavefront& m);
   // Ring-buffered score-only pass (MemoryMode::kLow).
   i64 score_low_memory(std::string_view pattern, std::string_view text,
-                       i64 score_cap);
+                       i64 score_cap, Component begin, Component end);
+  // Recursive BiWFA alignment (MemoryMode::kUltralow, full scope); appends
+  // this subproblem's CIGAR to `out` and returns its optimal score.
+  i64 ultralow_recurse(std::string_view pattern, std::string_view text,
+                       Component begin, Component end, i64 score_cap,
+                       seq::Cigar& out);
+  // kHigh pass over one (sub)problem with boundary components; used both
+  // by align()/align_span() directly and as the recursion base case.
+  align::AlignmentResult align_retained(std::string_view pattern,
+                                        std::string_view text,
+                                        align::AlignmentScope scope,
+                                        Component begin, Component end,
+                                        i64 score_cap);
   // Apply adaptive reduction to the freshly extended set (heuristic mode).
   void reduce(WavefrontSet& set, i32 plen, i32 tlen);
   seq::Cigar backtrace(i64 final_score, std::string_view pattern,
-                       std::string_view text);
+                       std::string_view text, Component begin,
+                       Component end);
+  void note_live_bytes();
 
   Options options_;
   WfaKernels kernels_;
   std::unique_ptr<SlabAllocator> owned_allocator_;
   WavefrontAllocator* allocator_;
   std::vector<WavefrontSet> sets_;  // indexed by score (bookkeeping only)
-  // Ring storage for MemoryMode::kLow (reused across alignments).
-  struct RingSlot {
-    WavefrontSet set;
-    std::vector<Offset> m, i, d;
-  };
-  std::vector<RingSlot> ring_;
+  ScoreRing ring_;       // kLow ring; also kUltralow's forward direction
+  ScoreRing rev_ring_;   // kUltralow's reverse direction
+  // Reversed copies of the strings for the reverse direction (reused
+  // buffers; std::string_view cannot express a reversed traversal).
+  std::string rev_pattern_, rev_text_;
+  u64 retained_bytes_ = 0;  // payload allocated by the current kHigh pass
   WfaCounters counters_;
 };
 
