@@ -49,7 +49,7 @@ void save_any(const std::string& path, const seq::ReadPairSet& set) {
   }
 }
 
-int usage() {
+void print_usage() {
   std::cout << "usage: dataset_tools <generate|stats|convert|align> [flags]\n"
             << "  generate --pairs N --read-length L --error-rate E --seed S"
             << " --out FILE\n"
@@ -57,6 +57,10 @@ int usage() {
             << "  convert IN OUT        (.seq / .bin / .fa by extension)\n"
             << "  align FILE --backend B  (any registered backend:\n"
             << pimwfa::align::backend_registry().describe();
+}
+
+int usage() {
+  print_usage();
   return 2;
 }
 
@@ -64,7 +68,12 @@ int usage() {
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
-  if (cli.positional().empty() || cli.help_requested()) return usage();
+  // Asking for help is not an error; a missing command is.
+  if (cli.help_requested()) {
+    print_usage();
+    return 0;
+  }
+  if (cli.positional().empty()) return usage();
   const std::string command = cli.positional()[0];
 
   try {

@@ -28,6 +28,11 @@ int main(int argc, char** argv) {
   try {
     flags = align::parse_batch_flags(cli, defaults);
   } catch (const Error& error) {
+    // --help wins over a malformed flag.
+    if (cli.help_requested()) {
+      std::cout << cli.help();
+      return 0;
+    }
     std::cerr << "pim_batch_align: " << error.what() << "\n";
     return 2;
   }

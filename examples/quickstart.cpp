@@ -31,6 +31,12 @@ int main(int argc, char** argv) {
   try {
     flags = align::parse_batch_flags(cli, defaults);
   } catch (const Error& error) {
+    // --help wins over a malformed flag: the user asked what the flags
+    // are, not to run with them.
+    if (cli.help_requested()) {
+      std::cout << cli.help();
+      return 0;
+    }
     std::cerr << "quickstart: " << error.what() << "\n";
     return 2;
   }

@@ -1,55 +1,71 @@
-// A miniature seed-and-extend read mapper - the workload class that
-// motivates high-throughput pairwise alignment (the paper's intro): a
-// reference genome is k-mer indexed, reads vote for candidate windows,
-// and every (read, window) candidate pair is verified with gap-affine
-// WFA, executed as one batch on the backend named by --backend (the
-// simulated PIM system by default; try --backend=hybrid or cpu).
+// Seed-and-verify read mapper over the batch backends - the thin CLI
+// face of map::ReadMapper (src/map/): a reference (synthetic repetitive
+// genome by default, or a FASTA via --reference) is k-mer indexed, reads
+// vote candidate windows on both strands, a bit-parallel Myers filter
+// rejects windows that provably cannot qualify, and the survivors are
+// verified with gap-affine WFA as one zero-copy batch on the backend
+// named by --backend (the simulated PIM system by default).
 //
 //   ./build/bin/read_mapper
 //   ./build/bin/read_mapper --genome 200000 --reads 2000 --error-rate 0.03
-//   ./build/bin/read_mapper --backend=hybrid
+//   ./build/bin/read_mapper --backend=hybrid --filter=false
+//   ./build/bin/read_mapper --reference genome.fa --engine-shards 4
 #include <iostream>
-#include <unordered_map>
 #include <vector>
 
 #include "align/cli.hpp"
-#include "align/registry.hpp"
-#include "common/rng.hpp"
+#include "common/error.hpp"
 #include "common/strings.hpp"
 #include "common/timer.hpp"
-#include "seq/alphabet.hpp"
-#include "seq/generator.hpp"
-#include "seq/view.hpp"
-
-namespace {
-
-using namespace pimwfa;
-
-constexpr usize kK = 16;  // seed length
-
-u64 kmer_code(std::string_view s) {
-  u64 code = 0;
-  for (char c : s) code = (code << 2) | seq::encode_base(c);
-  return code;
-}
-
-}  // namespace
+#include "map/mapper.hpp"
+#include "map/reference.hpp"
+#include "seq/fasta.hpp"
 
 int main(int argc, char** argv) {
+  using namespace pimwfa;
+
   Cli cli(argc, argv);
-  cli.set_description("Toy seed-and-extend mapper over the batch backends");
-  const usize genome_len = static_cast<usize>(
-      cli.get_int("genome", 100'000, "reference genome length"));
-  const usize nr_reads =
-      static_cast<usize>(cli.get_int("reads", 1000, "reads to map"));
+  cli.set_description("Seed-and-verify read mapper over the batch backends");
   align::BatchFlags defaults;
   defaults.backend = "pim";
   defaults.error_rate = 0.02;
   defaults.options.pim_dpus = 4;
+
   align::BatchFlags flags;
+  map::MapperOptions options;
+  map::ReferenceConfig ref_config;
+  map::ReadSimConfig sim_config;
+  std::string reference_path;
   try {
     flags = align::parse_batch_flags(cli, defaults);
+    options.k = static_cast<usize>(cli.get_int("k", 11, "seed length"));
+    options.seeds_per_read = static_cast<usize>(
+        cli.get_int("seeds", 4, "seeds per read (spread evenly)"));
+    options.filter = cli.get_bool(
+        "filter", true, "Myers pre-filter (false = brute-force verify)");
+    options.both_strands =
+        cli.get_bool("both-strands", true, "seed the reverse complement too");
+    options.engine_shards = static_cast<usize>(cli.get_int(
+        "engine-shards", 0,
+        "verify through the async BatchEngine in this many shards (0 = "
+        "direct backend run)"));
+    reference_path = cli.get_string(
+        "reference", "", "FASTA reference (default: synthetic genome)");
+    ref_config.length = static_cast<usize>(
+        cli.get_int("genome", 100'000, "synthetic reference length"));
+    ref_config.repeat_fraction = cli.get_double(
+        "repeat-fraction", 0.5, "synthetic genome fraction covered by repeats");
+    ref_config.n_islands = static_cast<usize>(
+        cli.get_int("n-islands", 0, "assembly-gap N runs in the reference"));
+    sim_config.reads =
+        static_cast<usize>(cli.get_int("reads", 1000, "reads to map"));
   } catch (const Error& error) {
+    // --help wins over a malformed flag: the user asked what the flags
+    // are, not to run with them.
+    if (cli.help_requested()) {
+      std::cout << cli.help();
+      return 0;
+    }
     std::cerr << "read_mapper: " << error.what() << "\n";
     return 2;
   }
@@ -57,110 +73,79 @@ int main(int argc, char** argv) {
     std::cout << cli.help();
     return 0;
   }
-  const usize read_len = flags.read_length;
-  const double error_rate = flags.error_rate;
 
-  Rng rng(0x3A9);
-  const std::string genome = seq::random_sequence(rng, genome_len);
+  options.error_rate = flags.error_rate;
+  options.backend = flags.backend;
+  options.batch = flags.options;
+  sim_config.read_length = flags.read_length;
+  sim_config.error_rate = flags.error_rate;
+  sim_config.seed = flags.seed;
+  sim_config.both_strands = options.both_strands;
 
-  // 1. Index the reference: every kmer -> positions.
-  WallTimer timer;
-  std::unordered_map<u64, std::vector<u32>> index;
-  index.reserve(genome_len);
-  for (usize i = 0; i + kK <= genome.size(); ++i) {
-    index[kmer_code({genome.data() + i, kK})].push_back(static_cast<u32>(i));
-  }
-  std::cout << "indexed " << with_commas(genome_len) << "bp genome ("
-            << with_commas(index.size()) << " distinct " << kK << "-mers, "
-            << format_seconds(timer.seconds()) << ")\n";
-
-  // 2. Sample reads with errors; remember the truth for evaluation.
-  const usize errors = seq::errors_for(read_len, error_rate);
-  std::vector<std::string> reads(nr_reads);
-  std::vector<usize> truth(nr_reads);
-  for (usize r = 0; r < nr_reads; ++r) {
-    truth[r] = static_cast<usize>(rng.next_below(genome_len - read_len));
-    reads[r] =
-        seq::mutate_sequence(rng, genome.substr(truth[r], read_len), errors);
-  }
-
-  // 3. Seed: first/middle kmer votes nominate candidate windows.
-  timer.reset();
-  seq::ReadPairSet candidates;
-  std::vector<std::pair<usize, usize>> owner;  // (read, voted read start)
-  const usize pad = errors + 2;
-  for (usize r = 0; r < nr_reads; ++r) {
-    const std::string& read = reads[r];
-    std::vector<u32> votes;
-    for (const usize seed_at : {usize{0}, read.size() / 2}) {
-      if (seed_at + kK > read.size()) continue;
-      const auto hit = index.find(kmer_code({read.data() + seed_at, kK}));
-      if (hit == index.end()) continue;
-      for (const u32 pos : hit->second) {
-        const i64 start = static_cast<i64>(pos) - static_cast<i64>(seed_at);
-        if (start >= 0) votes.push_back(static_cast<u32>(start));
+  try {
+    // --- reference + reads ------------------------------------------------
+    std::string genome;
+    if (reference_path.empty()) {
+      genome = map::synthetic_reference(ref_config);
+    } else {
+      for (const seq::FastaRecord& record :
+           seq::read_fasta_file(reference_path)) {
+        genome += record.sequence;
       }
     }
-    std::sort(votes.begin(), votes.end());
-    votes.erase(std::unique(votes.begin(), votes.end()), votes.end());
-    for (const u32 start : votes) {
-      const usize begin = start > pad ? start - pad : 0;
-      const usize end = std::min(genome.size(), start + read.size() + pad);
-      candidates.add({read, genome.substr(begin, end - begin)});
-      owner.emplace_back(r, start);
-    }
-  }
-  std::cout << "seeded " << with_commas(candidates.size())
-            << " candidate windows for " << with_commas(nr_reads)
-            << " reads (" << format_seconds(timer.seconds()) << ")\n";
+    const std::vector<map::SimulatedRead> reads =
+        map::simulate_reads(genome, sim_config);
+    std::vector<std::string> queries;
+    queries.reserve(reads.size());
+    for (const map::SimulatedRead& read : reads) queries.push_back(read.bases);
 
-  // 4. Verify all candidates with WFA as one batch on the chosen backend
-  //    (handed over as a zero-copy view of the candidate set).
-  const auto backend =
-      align::backend_registry().create(flags.backend, flags.options);
-  const align::BatchResult batch =
-      backend->run(seq::ReadPairSpan(candidates), align::AlignmentScope::kFull);
-  std::cout << "aligned on backend '" << batch.backend << "': "
-            << format_seconds(batch.timings.modeled_seconds)
-            << " modeled (kernel "
-            << format_seconds(batch.timings.kernel_seconds) << ", "
-            << format_seconds(batch.timings.wall_seconds) << " host wall)\n";
-  if (batch.results.size() != candidates.size()) {
-    std::cerr << "backend materialized only " << batch.results.size()
-              << " of " << candidates.size() << " candidates\n";
-    return 1;
-  }
+    // --- index + map ------------------------------------------------------
+    WallTimer timer;
+    map::ReadMapper mapper(std::move(genome), options);
+    std::cout << "indexed " << with_commas(mapper.reference().size())
+              << "bp reference (" << with_commas(mapper.index().distinct_kmers())
+              << " distinct " << options.k << "-mers, "
+              << with_commas(mapper.index().skipped_positions())
+              << " windows skipped, " << format_seconds(timer.seconds())
+              << ")\n";
 
-  // 5. Pick each read's best-scoring candidate and evaluate.
-  const i64 unmapped = std::numeric_limits<i64>::max();
-  std::vector<i64> best_score(nr_reads, unmapped);
-  std::vector<usize> best_pos(nr_reads, 0);
-  // The mapped position is the seed-voted start of the best-scoring
-  // candidate (recovering it from the CIGAR would be biased: affine
-  // scoring merges the padded window's boundary gaps to one side).
-  for (usize c = 0; c < candidates.size(); ++c) {
-    const auto [read, voted_start] = owner[c];
-    const align::AlignmentResult& result = batch.results[c];
-    if (result.score < best_score[read]) {
-      best_score[read] = result.score;
-      best_pos[read] = voted_start;
+    timer.reset();
+    const map::MapResult result = mapper.map(queries);
+    const map::MapperStats& stats = result.stats;
+    std::cout << "seeded " << with_commas(stats.candidates)
+              << " candidate windows for " << with_commas(stats.reads)
+              << " reads; filter rejected " << with_commas(stats.filter_rejected)
+              << strprintf(" (%.1f%%)", 100.0 * stats.rejection_rate())
+              << ", verified " << with_commas(stats.verified) << "\n";
+    std::cout << "aligned on backend '" << options.backend << "': "
+              << format_seconds(stats.timings.modeled_seconds)
+              << " modeled (kernel "
+              << format_seconds(stats.timings.kernel_seconds) << ", "
+              << format_seconds(timer.seconds()) << " host wall)\n";
+
+    // --- evaluate against the simulation truth ----------------------------
+    usize mapped = 0;
+    usize correct = 0;
+    for (usize r = 0; r < reads.size(); ++r) {
+      const map::Mapping& mapping = result.mappings[r];
+      if (!mapping.mapped) continue;
+      ++mapped;
+      const usize pad = mapper.pad_for(queries[r].size());
+      const i64 delta = static_cast<i64>(mapping.position) -
+                        static_cast<i64>(reads[r].position);
+      if (mapping.reverse == reads[r].reverse &&
+          delta >= -static_cast<i64>(pad) && delta <= static_cast<i64>(pad)) {
+        ++correct;
+      }
     }
+    std::cout << "mapped " << mapped << "/" << reads.size() << " reads, "
+              << correct << " at the true locus ("
+              << strprintf("%.1f%%", 100.0 * static_cast<double>(correct) /
+                                         static_cast<double>(reads.size()))
+              << ")\n";
+    return correct * 10 >= reads.size() * 9 ? 0 : 1;  // expect >= 90%
+  } catch (const Error& error) {
+    std::cerr << "read_mapper: " << error.what() << "\n";
+    return 2;
   }
-  usize mapped = 0;
-  usize correct = 0;
-  for (usize r = 0; r < nr_reads; ++r) {
-    if (best_score[r] == unmapped) continue;
-    ++mapped;
-    const i64 delta = static_cast<i64>(best_pos[r]) - static_cast<i64>(truth[r]);
-    if (delta >= -static_cast<i64>(pad) && delta <= static_cast<i64>(pad)) {
-      ++correct;
-    }
-  }
-  std::cout << "mapped " << mapped << "/" << nr_reads << " reads, "
-            << correct << " within " << pad << "bp of the truth ("
-            << strprintf("%.1f%%",
-                         100.0 * static_cast<double>(correct) /
-                             static_cast<double>(nr_reads))
-            << ")\n";
-  return correct * 10 >= nr_reads * 9 ? 0 : 1;  // expect >= 90%
 }

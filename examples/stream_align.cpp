@@ -59,24 +59,43 @@ int main(int argc, char** argv) {
       "from a FASTA/FASTQ/.seq source");
   align::BatchFlags defaults;
   defaults.pairs = 4096;
-  align::BatchFlags flags = align::parse_batch_flags(cli, defaults);
-  const std::string input = cli.get_string(
-      "input", "", "FASTA/FASTQ/.seq file (default: synthetic in-memory "
-      ".seq stream shaped by --pairs/--read-length/--error-rate)");
-  std::string format =
-      cli.get_string("format", "auto", "auto | fasta | fastq | seq");
-  const usize chunk = static_cast<usize>(
-      cli.get_int("chunk", 256, "records parsed per ingest chunk"));
-  const usize request_pairs = static_cast<usize>(
-      cli.get_int("request", 64, "pairs per service request"));
-  const usize batch_pairs = static_cast<usize>(
-      cli.get_int("batch-pairs", 1024, "service batch-size watermark"));
-  const i64 batch_delay_ms = cli.get_int(
-      "batch-delay-ms", 2, "service batch-latency watermark");
-  const usize queue_pairs = static_cast<usize>(cli.get_int(
-      "queue-pairs", 4096, "admission high-watermark (backpressure)"));
-  const usize arenas = static_cast<usize>(
-      cli.get_int("arenas", 0, "arena ring size (0 = auto)"));
+  align::BatchFlags flags;
+  std::string input;
+  std::string format;
+  usize chunk = 0;
+  usize request_pairs = 0;
+  usize batch_pairs = 0;
+  i64 batch_delay_ms = 0;
+  usize queue_pairs = 0;
+  usize arenas = 0;
+  try {
+    flags = align::parse_batch_flags(cli, defaults);
+    input = cli.get_string(
+        "input", "", "FASTA/FASTQ/.seq file (default: synthetic in-memory "
+        ".seq stream shaped by --pairs/--read-length/--error-rate)");
+    format = cli.get_string("format", "auto", "auto | fasta | fastq | seq");
+    chunk = static_cast<usize>(
+        cli.get_int("chunk", 256, "records parsed per ingest chunk"));
+    request_pairs = static_cast<usize>(
+        cli.get_int("request", 64, "pairs per service request"));
+    batch_pairs = static_cast<usize>(
+        cli.get_int("batch-pairs", 1024, "service batch-size watermark"));
+    batch_delay_ms = cli.get_int(
+        "batch-delay-ms", 2, "service batch-latency watermark");
+    queue_pairs = static_cast<usize>(cli.get_int(
+        "queue-pairs", 4096, "admission high-watermark (backpressure)"));
+    arenas = static_cast<usize>(
+        cli.get_int("arenas", 0, "arena ring size (0 = auto)"));
+  } catch (const Error& error) {
+    // --help wins over a malformed flag (and a parse error must not
+    // escape main as an uncaught exception).
+    if (cli.help_requested()) {
+      std::cout << cli.help();
+      return 0;
+    }
+    std::cerr << "stream_align: " << error.what() << "\n";
+    return 2;
+  }
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;

@@ -12,8 +12,11 @@ namespace {
 constexpr usize kWordBits = 64;
 
 // Single-word Myers (pattern length <= 64), global distance variant: the
-// horizontal input delta at row 0 is +1 for every text column.
-i64 myers_short(std::string_view pattern, std::string_view text) {
+// horizontal input delta at row 0 is +1 for every text column. A
+// non-negative `prune` aborts with prune+1 once the final distance
+// provably exceeds it: adjacent last-row cells differ by at most 1, so
+// after column j the end value is at least score - (tlen - j).
+i64 myers_short(std::string_view pattern, std::string_view text, i64 prune) {
   const usize m = pattern.size();
   PIMWFA_DCHECK(m >= 1 && m <= kWordBits);
   std::array<u64, 256> peq{};
@@ -24,6 +27,7 @@ i64 myers_short(std::string_view pattern, std::string_view text) {
   u64 pv = ~u64{0};
   u64 mv = 0;
   i64 score = static_cast<i64>(m);
+  i64 remaining = static_cast<i64>(text.size());
   for (char c : text) {
     const u64 eq = peq[static_cast<u8>(c)];
     const u64 xv = eq | mv;
@@ -36,12 +40,14 @@ i64 myers_short(std::string_view pattern, std::string_view text) {
     mh <<= 1;
     pv = mh | ~(xv | ph);
     mv = ph & xv;
+    --remaining;
+    if (prune >= 0 && score - remaining > prune) return prune + 1;
   }
   return score;
 }
 
 // Block-based Myers for arbitrary pattern lengths.
-i64 myers_long(std::string_view pattern, std::string_view text) {
+i64 myers_long(std::string_view pattern, std::string_view text, i64 prune) {
   const usize m = pattern.size();
   const usize blocks = (m + kWordBits - 1) / kWordBits;
   std::vector<std::array<u64, 256>> peq(blocks);
@@ -56,6 +62,7 @@ i64 myers_long(std::string_view pattern, std::string_view text) {
   std::vector<u64> pv(blocks, ~u64{0});
   std::vector<u64> mv(blocks, 0);
   i64 score = static_cast<i64>(m);
+  i64 remaining = static_cast<i64>(text.size());
   for (char c : text) {
     u64 ph_in = 1;  // +1 entering row 0 (global alignment)
     u64 mh_in = 0;
@@ -79,6 +86,8 @@ i64 myers_long(std::string_view pattern, std::string_view text) {
       ph_in = ph_out;
       mh_in = mh_out;
     }
+    --remaining;
+    if (prune >= 0 && score - remaining > prune) return prune + 1;
   }
   return score;
 }
@@ -88,8 +97,23 @@ i64 myers_long(std::string_view pattern, std::string_view text) {
 i64 myers_edit_distance(std::string_view pattern, std::string_view text) {
   if (pattern.empty()) return static_cast<i64>(text.size());
   if (text.empty()) return static_cast<i64>(pattern.size());
-  return pattern.size() <= kWordBits ? myers_short(pattern, text)
-                                     : myers_long(pattern, text);
+  return pattern.size() <= kWordBits ? myers_short(pattern, text, -1)
+                                     : myers_long(pattern, text, -1);
+}
+
+i64 myers_bounded_edit_distance(std::string_view pattern,
+                                std::string_view text, i64 threshold) {
+  PIMWFA_ARG_CHECK(threshold >= 0, "threshold must be non-negative");
+  const i64 plen = static_cast<i64>(pattern.size());
+  const i64 tlen = static_cast<i64>(text.size());
+  // The length difference is an unconditional lower bound on the global
+  // distance; most junk candidates never touch the DP at all.
+  if (std::abs(plen - tlen) > threshold) return threshold + 1;
+  if (pattern.empty() || text.empty()) return std::abs(plen - tlen);
+  const i64 distance = pattern.size() <= kWordBits
+                           ? myers_short(pattern, text, threshold)
+                           : myers_long(pattern, text, threshold);
+  return std::min(distance, threshold + 1);
 }
 
 i64 banded_edit_distance(std::string_view pattern, std::string_view text,

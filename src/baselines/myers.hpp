@@ -16,6 +16,18 @@ namespace pimwfa::baselines {
 // Works for any pattern length (multi-word blocks above 64).
 i64 myers_edit_distance(std::string_view pattern, std::string_view text);
 
+// Thresholded bit-parallel Myers: the exact global Levenshtein distance
+// if it is <= threshold, otherwise threshold+1 (meaning "greater than
+// threshold"). This is the cheap reject stage of the read mapper's
+// PEX-style hierarchical verification: candidate windows whose edit
+// distance provably exceeds the divergence-derived threshold never reach
+// the affine WFA. Columns are pruned the moment the last-row score can
+// no longer descend back to the threshold (the final distance is at
+// least score[j] - remaining columns, since adjacent last-row cells
+// differ by at most 1), so junk candidates exit in O(threshold) columns.
+i64 myers_bounded_edit_distance(std::string_view pattern,
+                                std::string_view text, i64 threshold);
+
 // Ukkonen's banded edit distance with threshold doubling: runs the banded
 // DP with t = 1, 2, 4, ... until distance <= t; O(d*n) total.
 i64 ukkonen_edit_distance(std::string_view pattern, std::string_view text);

@@ -1,0 +1,60 @@
+#include "map/index.hpp"
+
+#include "common/check.hpp"
+#include "seq/alphabet.hpp"
+
+namespace pimwfa::map {
+
+KmerIndex::KmerIndex(std::string_view reference, usize k) : k_(k) {
+  PIMWFA_ARG_CHECK(k >= kMinK && k <= kMaxK,
+                   "seed length k=" << k << " outside [" << kMinK << ", "
+                                    << kMaxK << "]");
+  const usize n = reference.size();
+  if (n < k) return;
+  index_.reserve(n - k + 1);
+  // Rolling 2-bit code over the current run of valid bases; an invalid
+  // base resets the run, so windows overlapping it are never hashed.
+  const u64 mask = (u64{1} << (2 * k)) - 1;
+  u64 code = 0;
+  usize run = 0;
+  for (usize i = 0; i < n; ++i) {
+    const u8 base = seq::encode_base(reference[i]);
+    if (base == seq::kInvalidCode) {
+      run = 0;
+      code = 0;
+      continue;
+    }
+    code = ((code << 2) | base) & mask;
+    if (++run >= k) {
+      index_[code].push_back(static_cast<u32>(i + 1 - k));
+      ++indexed_;
+    }
+  }
+  skipped_ = (n - k + 1) - indexed_;
+}
+
+bool KmerIndex::kmer_code(std::string_view kmer, u64& code) const {
+  PIMWFA_ARG_CHECK(kmer.size() == k_, "kmer_code: length " << kmer.size()
+                                                           << " != k " << k_);
+  u64 rolling = 0;
+  for (const char c : kmer) {
+    const u8 base = seq::encode_base(c);
+    if (base == seq::kInvalidCode) return false;
+    rolling = (rolling << 2) | base;
+  }
+  code = rolling;
+  return true;
+}
+
+const std::vector<u32>& KmerIndex::lookup(std::string_view kmer) const {
+  u64 code = 0;
+  if (!kmer_code(kmer, code)) return empty_;
+  return lookup_code(code);
+}
+
+const std::vector<u32>& KmerIndex::lookup_code(u64 code) const {
+  const auto hit = index_.find(code);
+  return hit == index_.end() ? empty_ : hit->second;
+}
+
+}  // namespace pimwfa::map

@@ -1,0 +1,246 @@
+#include "map/mapper.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string_view>
+
+#include "align/batch_engine.hpp"
+#include "align/registry.hpp"
+#include "baselines/myers.hpp"
+#include "common/check.hpp"
+#include "seq/alphabet.hpp"
+#include "seq/generator.hpp"
+
+namespace pimwfa::map {
+namespace {
+
+// One seed-voted verification job: read `read` (oriented per `reverse`)
+// against reference window [begin, begin + length).
+struct Candidate {
+  usize read = 0;
+  usize start = 0;  // voted reference start of the read itself
+  usize begin = 0;  // window bounds (start padded, clamped to the genome)
+  usize length = 0;
+  bool reverse = false;
+};
+
+// Runs the constructor-time argument checks before the member index is
+// built (initializer lists cannot interleave statements).
+const std::string& checked_reference(const std::string& reference,
+                                     const MapperOptions& options) {
+  options.validate();
+  PIMWFA_ARG_CHECK(!reference.empty(), "reference is empty");
+  return reference;
+}
+
+}  // namespace
+
+void MapperOptions::validate() const {
+  PIMWFA_ARG_CHECK(k >= KmerIndex::kMinK && k <= KmerIndex::kMaxK,
+                   "seed length k=" << k << " outside [" << KmerIndex::kMinK
+                                    << ", " << KmerIndex::kMaxK << "]");
+  PIMWFA_ARG_CHECK(seeds_per_read >= 1, "seeds_per_read must be >= 1");
+  PIMWFA_ARG_CHECK(error_rate >= 0.0 && error_rate <= 1.0,
+                   "error rate " << error_rate << " outside [0,1]");
+  batch.validate();
+  // Every survivor needs a materialized result to pick the best hit
+  // from; modes that model pairs without aligning them cannot back a
+  // mapper.
+  PIMWFA_ARG_CHECK(batch.virtual_pairs == 0,
+                   "virtual batches cannot back a read mapper");
+  PIMWFA_ARG_CHECK(batch.pim_simulate_dpus == 0,
+                   "partially simulated PIM batches cannot back a read mapper");
+  if (engine_shards > 0) {
+    PIMWFA_ARG_CHECK(engine_in_flight >= 1,
+                     "engine_in_flight must be >= 1 when sharding");
+  }
+}
+
+ReadMapper::ReadMapper(std::string reference, MapperOptions options)
+    : reference_(std::move(reference)),
+      options_(std::move(options)),
+      index_(checked_reference(reference_, options_), options_.k) {}
+
+usize ReadMapper::pad_for(usize read_length) const {
+  // Budget edits can shift the read's far end by e_max in either
+  // direction, and the voted start itself is off by up to e_max when the
+  // seed sits downstream of an indel - twice the budget covers both.
+  return 2 * seq::errors_for(read_length, options_.error_rate);
+}
+
+i64 ReadMapper::score_cap(usize read_length, usize window_length) const {
+  const auto& p = options_.batch.penalties;
+  const i64 e_max =
+      static_cast<i64>(seq::errors_for(read_length, options_.error_rate));
+  const i64 per_edit = std::max<i64>(p.mismatch, p.gap_open + p.gap_extend);
+  const i64 diff = std::abs(static_cast<i64>(window_length) -
+                            static_cast<i64>(read_length));
+  // Worst cost of a true placement: e_max budget edits, plus deleting the
+  // window overhangs around the read's span (two gap opens; the span
+  // length itself moves by at most e_max).
+  return e_max * per_edit + 2 * p.gap_open + (diff + e_max) * p.gap_extend;
+}
+
+i64 ReadMapper::filter_threshold(usize read_length, usize window_length) const {
+  const auto& p = options_.batch.penalties;
+  // Any alignment with edit distance d costs at least d * min(x, e), so
+  // d > cap / min(x, e) implies the affine score exceeds the cap: the
+  // filter only ever discards candidates brute force would not qualify.
+  const i64 cheapest_edit = std::min<i64>(p.mismatch, p.gap_extend);
+  return score_cap(read_length, window_length) / cheapest_edit;
+}
+
+MapResult ReadMapper::map(const std::vector<std::string>& reads) {
+  MapResult out;
+  out.mappings.resize(reads.size());
+  out.stats.reads = reads.size();
+  const usize glen = reference_.size();
+  const usize k = options_.k;
+
+  // Reverse-complemented reads, materialized once so candidate patterns
+  // can be zero-copy views for the filter stage.
+  std::vector<std::string> rc(options_.both_strands ? reads.size() : 0);
+
+  // --- Seed: vote candidate starts per (read, strand) ---------------------
+  std::vector<Candidate> candidates;
+  std::vector<usize> seed_starts;
+  std::vector<i64> votes;
+  for (usize r = 0; r < reads.size(); ++r) {
+    const usize strands = options_.both_strands ? 2 : 1;
+    for (usize strand = 0; strand < strands; ++strand) {
+      if (strand == 1) rc[r] = seq::reverse_complement(reads[r]);
+      const std::string& oriented = strand == 0 ? reads[r] : rc[r];
+      const usize length = oriented.size();
+      if (length < k) continue;
+
+      // Seed positions spread evenly over [0, length - k].
+      seed_starts.clear();
+      const usize span = length - k;
+      const usize seeds = options_.seeds_per_read;
+      for (usize s = 0; s < seeds; ++s) {
+        seed_starts.push_back(seeds == 1 ? 0 : s * span / (seeds - 1));
+      }
+      std::sort(seed_starts.begin(), seed_starts.end());
+      seed_starts.erase(std::unique(seed_starts.begin(), seed_starts.end()),
+                        seed_starts.end());
+
+      votes.clear();
+      for (const usize pos : seed_starts) {
+        const std::string_view kmer{oriented.data() + pos, k};
+        // lookup() skips seeds containing invalid bases (N) internally.
+        for (const u32 hit : index_.lookup(kmer)) {
+          const i64 start = static_cast<i64>(hit) - static_cast<i64>(pos);
+          votes.push_back(std::max<i64>(0, start));
+        }
+      }
+      std::sort(votes.begin(), votes.end());
+      votes.erase(std::unique(votes.begin(), votes.end()), votes.end());
+
+      const usize pad = pad_for(length);
+      for (const i64 vote : votes) {
+        const usize start = static_cast<usize>(vote);
+        if (start >= glen) continue;
+        const usize begin = start > pad ? start - pad : 0;
+        const usize end = std::min(glen, start + length + pad);
+        if (end <= begin) continue;
+        candidates.push_back(
+            {r, start, begin, end - begin, strand == 1});
+      }
+    }
+  }
+  out.stats.candidates = candidates.size();
+
+  // --- Filter: bounded Myers rejects provably non-qualifying windows ------
+  std::vector<Candidate> survivors;
+  seq::ReadPairSet verify_set;
+  const std::string_view genome{reference_};
+  for (const Candidate& candidate : candidates) {
+    const std::string& oriented =
+        candidate.reverse ? rc[candidate.read] : reads[candidate.read];
+    const std::string_view window =
+        genome.substr(candidate.begin, candidate.length);
+    if (options_.filter) {
+      const i64 threshold =
+          filter_threshold(oriented.size(), candidate.length);
+      const i64 distance =
+          baselines::myers_bounded_edit_distance(oriented, window, threshold);
+      if (distance > threshold) {
+        ++out.stats.filter_rejected;
+        continue;
+      }
+    }
+    survivors.push_back(candidate);
+    verify_set.add({oriented, std::string(window)});
+  }
+  out.stats.verified = survivors.size();
+
+  // --- Verify: capped affine WFA over the survivor batch ------------------
+  align::BatchResult batch_result;
+  if (!survivors.empty()) {
+    align::BatchOptions batch_options = options_.batch;
+    if (options_.filter && batch_options.pim_max_score == 0) {
+      // Survivors have Myers distance <= threshold, and an alignment with
+      // d edits costs at most d * max(x, o + e): a provably safe per-batch
+      // score cap, which is what shrinks the PIM wavefront arenas.
+      const auto& p = batch_options.penalties;
+      const i64 per_edit =
+          std::max<i64>(p.mismatch, p.gap_open + p.gap_extend);
+      i64 max_threshold = 0;
+      for (const Candidate& candidate : survivors) {
+        const usize read_length = candidate.reverse
+                                      ? rc[candidate.read].size()
+                                      : reads[candidate.read].size();
+        max_threshold = std::max(
+            max_threshold, filter_threshold(read_length, candidate.length));
+      }
+      batch_options.pim_max_score = static_cast<u64>(max_threshold * per_edit);
+    }
+
+    if (options_.engine_shards > 0) {
+      align::BatchEngineOptions engine_options;
+      engine_options.backend = options_.backend;
+      engine_options.batch = batch_options;
+      engine_options.max_in_flight = options_.engine_in_flight;
+      engine_options.workers = options_.engine_workers;
+      align::BatchEngine engine(std::move(engine_options));
+      batch_result = engine.run_sharded(
+          seq::ReadPairSpan(verify_set), align::AlignmentScope::kFull,
+          std::min(options_.engine_shards, survivors.size()));
+    } else {
+      auto backend =
+          align::backend_registry().create(options_.backend, batch_options);
+      batch_result = backend->run(seq::ReadPairSpan(verify_set),
+                                  align::AlignmentScope::kFull);
+    }
+    PIMWFA_CHECK(batch_result.results.size() == survivors.size(),
+                 "backend under-materialized the verification batch: "
+                     << batch_result.results.size() << " of "
+                     << survivors.size());
+  }
+  out.stats.timings = batch_result.timings;
+
+  // --- Qualify + pick: first strictly-minimal qualifying hit per read -----
+  // Candidate enumeration order is identical with and without the filter
+  // (the filter only removes non-qualifying candidates), so this
+  // tie-break makes filtered and brute-force mapping bit-identical.
+  for (usize i = 0; i < survivors.size(); ++i) {
+    const Candidate& candidate = survivors[i];
+    const align::AlignmentResult& result = batch_result.results[i];
+    const usize read_length = candidate.reverse
+                                  ? rc[candidate.read].size()
+                                  : reads[candidate.read].size();
+    if (result.score > score_cap(read_length, candidate.length)) continue;
+    ++out.stats.qualified;
+    Mapping& best = out.mappings[candidate.read];
+    if (!best.mapped || result.score < best.score) {
+      best.mapped = true;
+      best.position = candidate.start;
+      best.reverse = candidate.reverse;
+      best.score = result.score;
+      best.cigar = result.cigar;
+    }
+  }
+  return out;
+}
+
+}  // namespace pimwfa::map

@@ -1,0 +1,92 @@
+#include "map/reference.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "seq/alphabet.hpp"
+#include "seq/generator.hpp"
+
+namespace pimwfa::map {
+
+std::string synthetic_reference(const ReferenceConfig& config) {
+  PIMWFA_ARG_CHECK(config.length > 0, "reference length must be positive");
+  PIMWFA_ARG_CHECK(
+      config.repeat_fraction >= 0.0 && config.repeat_fraction <= 1.0,
+      "repeat fraction " << config.repeat_fraction << " outside [0,1]");
+  PIMWFA_ARG_CHECK(
+      config.repeat_divergence >= 0.0 && config.repeat_divergence <= 1.0,
+      "repeat divergence " << config.repeat_divergence << " outside [0,1]");
+  PIMWFA_ARG_CHECK(config.repeat_fraction == 0.0 ||
+                       config.repeat_unit_length > 0,
+                   "repeat unit length must be positive when repeats are on");
+  PIMWFA_ARG_CHECK(config.n_islands == 0 ||
+                       (config.n_island_length > 0 &&
+                        config.n_island_length <= config.length),
+                   "N island length " << config.n_island_length
+                                      << " empty or longer than the reference");
+
+  Rng rng(config.seed);
+  std::string genome = seq::random_sequence(rng, config.length);
+
+  // Implant diverged copies of one repeat family until ~repeat_fraction of
+  // the genome is covered. Copies may overlap each other; coverage is
+  // counted by bases written, which keeps the loop finite even when the
+  // unit barely fits.
+  if (config.repeat_fraction > 0.0 && config.repeat_unit_length < config.length) {
+    const std::string unit =
+        seq::random_sequence(rng, config.repeat_unit_length);
+    const usize divergence_edits =
+        seq::errors_for(unit.size(), config.repeat_divergence);
+    const usize target = static_cast<usize>(
+        config.repeat_fraction * static_cast<double>(config.length));
+    usize covered = 0;
+    while (covered < target) {
+      std::string copy = seq::mutate_sequence(rng, unit, divergence_edits);
+      if (copy.size() > genome.size()) copy.resize(genome.size());
+      const usize start =
+          static_cast<usize>(rng.next_below(genome.size() - copy.size() + 1));
+      std::copy(copy.begin(), copy.end(),
+                genome.begin() + static_cast<std::ptrdiff_t>(start));
+      covered += copy.size();
+    }
+  }
+
+  for (usize island = 0; island < config.n_islands; ++island) {
+    const usize start = static_cast<usize>(
+        rng.next_below(config.length - config.n_island_length + 1));
+    std::fill_n(genome.begin() + static_cast<std::ptrdiff_t>(start),
+                config.n_island_length, 'N');
+  }
+  return genome;
+}
+
+std::vector<SimulatedRead> simulate_reads(const std::string& reference,
+                                          const ReadSimConfig& config) {
+  PIMWFA_ARG_CHECK(config.read_length > 0, "read length must be positive");
+  // The historical toy mapper computed rng.next_below(genome - read_len)
+  // here: with read_length >= the reference the unsigned subtraction
+  // wrapped to ~2^64 and every read sampled garbage. Reject instead.
+  PIMWFA_ARG_CHECK(
+      config.read_length < reference.size(),
+      "read length " << config.read_length
+                     << " must be smaller than the reference length "
+                     << reference.size());
+  Rng rng(config.seed);
+  const usize errors = seq::errors_for(config.read_length, config.error_rate);
+  std::vector<SimulatedRead> reads;
+  reads.reserve(config.reads);
+  for (usize i = 0; i < config.reads; ++i) {
+    SimulatedRead read;
+    read.position = static_cast<usize>(
+        rng.next_below(reference.size() - config.read_length + 1));
+    read.reverse = config.both_strands && rng.next_bool(0.5);
+    std::string span = reference.substr(read.position, config.read_length);
+    read.bases = seq::mutate_sequence(rng, span, errors);
+    if (read.reverse) read.bases = seq::reverse_complement(read.bases);
+    reads.push_back(std::move(read));
+  }
+  return reads;
+}
+
+}  // namespace pimwfa::map

@@ -15,9 +15,13 @@ std::string reverse_complement(std::string_view sequence) {
   std::string out;
   out.reserve(sequence.size());
   for (auto it = sequence.rbegin(); it != sequence.rend(); ++it) {
-    PIMWFA_ARG_CHECK(is_valid_base(*it),
-                     "invalid base '" << *it << "' in reverse_complement");
-    out.push_back(complement_base(*it));
+    if (is_valid_base(*it)) {
+      out.push_back(complement_base(*it));
+    } else {
+      PIMWFA_ARG_CHECK(*it == 'N' || *it == 'n',
+                       "invalid base '" << *it << "' in reverse_complement");
+      out.push_back('N');  // N is its own complement
+    }
   }
   return out;
 }

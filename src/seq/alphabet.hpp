@@ -50,7 +50,11 @@ constexpr char complement_base(char base) noexcept {
 // True iff every character of `sequence` is a valid base.
 bool is_valid_sequence(std::string_view sequence) noexcept;
 
-// Reverse complement of a valid DNA string.
+// Reverse complement of a DNA string. 'N'/'n' (the standard ambiguity /
+// assembly-gap code) is tolerated and complements to itself - real
+// references contain N runs, and the read mapper reverse-complements
+// reads sampled across them. Any other non-ACGT character throws
+// InvalidArgument.
 std::string reverse_complement(std::string_view sequence);
 
 // Normalize to upper case, throwing InvalidArgument on non-ACGT input.
