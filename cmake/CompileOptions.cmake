@@ -1,18 +1,32 @@
 # Project-wide compile options, attached to every target through the
 # pimwfa_options interface library (warnings, optional -Werror, optional
-# ASan/UBSan instrumentation for the sanitizer CI job).
+# sanitizer instrumentation for the sanitizer CI jobs).
 add_library(pimwfa_options INTERFACE)
 
 if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
   target_compile_options(pimwfa_options INTERFACE -Wall -Wextra)
-  if(PIMWFA_WERROR)
-    target_compile_options(pimwfa_options INTERFACE -Werror)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    # Clang Thread Safety Analysis over the capability annotations in
+    # common/thread_safety.hpp (no-ops on GCC). The static-analysis CI
+    # job builds with Clang + PIMWFA_WERROR so a guarded member touched
+    # without its mutex fails the build, not just a code review.
+    target_compile_options(pimwfa_options INTERFACE -Wthread-safety)
   endif()
-  if(PIMWFA_SANITIZE)
-    # Directory-scoped (not on the interface library) so third-party code
-    # pulled in by FetchContent - gtest in particular - is instrumented
-    # too; mixing instrumented and uninstrumented TUs across the gtest
-    # boundary risks ASan container-overflow false positives.
+  # PIMWFA_SANITIZE selects the instrumentation family:
+  #   thread            -> ThreadSanitizer (the race-stress CI job)
+  #   any other truthy  -> ASan + UBSan (back-compat: =ON keeps meaning
+  #                        the address/undefined job)
+  # TSan is mutually exclusive with ASan by construction here: one cache
+  # variable, one family. Instrumentation is directory-scoped (not on the
+  # interface library) so third-party code pulled in by FetchContent -
+  # gtest in particular - is instrumented too; mixing instrumented and
+  # uninstrumented TUs across the gtest boundary risks ASan
+  # container-overflow false positives and TSan false negatives on
+  # unannotated synchronization.
+  if(PIMWFA_SANITIZE STREQUAL "thread")
+    add_compile_options(-fsanitize=thread -fno-omit-frame-pointer -g)
+    add_link_options(-fsanitize=thread)
+  elseif(PIMWFA_SANITIZE)
     add_compile_options(-fsanitize=address,undefined -fno-omit-frame-pointer)
     add_link_options(-fsanitize=address,undefined)
   endif()

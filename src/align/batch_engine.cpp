@@ -76,16 +76,19 @@ void BatchEngine::enqueue(
   // for a batch that never ran. The increment happens before the enqueue
   // because the task's completion decrement may run on a worker thread
   // the instant submit() returns.
-  ++submitted_;
-  ++in_flight_;
+  // Relaxed: the counters are observability-only (see the header note);
+  // the dispatcher hand-off and the future provide all the ordering the
+  // batch itself needs.
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
   try {
     dispatcher_->submit([this, task = std::move(task)] {
       (*task)();
-      --in_flight_;
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
     });
   } catch (...) {
-    --submitted_;
-    --in_flight_;
+    submitted_.fetch_sub(1, std::memory_order_relaxed);
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
     throw;
   }
 }

@@ -95,9 +95,16 @@ class BatchEngine {
   // Block until every submitted batch has completed.
   void wait_idle();
 
-  // Batches submitted but not yet completed.
-  usize in_flight() const noexcept { return in_flight_.load(); }
-  usize submitted() const noexcept { return submitted_.load(); }
+  // Batches submitted but not yet completed. Observability counters, not
+  // synchronization: they are updated and read with relaxed ordering (a
+  // reader learns the count, never "the batch's results are visible").
+  // Completion is published by the future / wait_idle(), not by these.
+  usize in_flight() const noexcept {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+  usize submitted() const noexcept {
+    return submitted_.load(std::memory_order_relaxed);
+  }
 
   const BatchAligner& backend() const noexcept { return *backend_; }
   std::string backend_name() const { return backend_->name(); }
@@ -117,6 +124,9 @@ class BatchEngine {
   // tasks use the worker pool) must be destroyed before the workers.
   std::unique_ptr<ThreadPool> workers_;
   std::unique_ptr<ThreadPool> dispatcher_;
+  // Relaxed atomics (see in_flight()/submitted()): incremented together
+  // in enqueue() before the dispatcher hand-off, decremented by the task
+  // on completion - possibly before submit() even returns.
   std::atomic<usize> in_flight_{0};
   std::atomic<usize> submitted_{0};
 };

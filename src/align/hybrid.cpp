@@ -23,7 +23,7 @@ HybridBatchAligner::HybridBatchAligner(BatchOptions options)
 
 void HybridBatchAligner::set_options(BatchOptions options) {
   options.validate();
-  std::lock_guard lock(cache_mutex_);
+  MutexLock lock(cache_mutex_);
   options_ = std::move(options);
   cache_.clear();
   calibrations_.store(0, std::memory_order_relaxed);
@@ -167,7 +167,7 @@ HybridBatchAligner::Plan HybridBatchAligner::plan(seq::ReadPairSpan batch,
     const CalibrationKey key{out.pairs, materialized,
                              batch.max_pattern_length(),
                              batch.max_text_length(), scope};
-    std::lock_guard lock(cache_mutex_);
+    MutexLock lock(cache_mutex_);
     const auto hit = cache_.find(key);
     if (hit != cache_.end()) {
       calibration = hit->second;
@@ -201,7 +201,8 @@ HybridBatchAligner::Plan HybridBatchAligner::plan(seq::ReadPairSpan batch,
 BatchResult HybridBatchAligner::run(seq::ReadPairSpan batch,
                                     AlignmentScope scope, ThreadPool* pool) {
   WallTimer timer;
-  const u64 copied_before = seq::bases_copied_counter();
+  const u64 copied_before =
+      seq::bases_copied_counter().load(std::memory_order_relaxed);
   BatchResult out;
   out.backend = name();
   const usize materialized = batch.size();
@@ -263,7 +264,9 @@ BatchResult HybridBatchAligner::run(seq::ReadPairSpan batch,
 
   t.materialized = out.results.size();
   t.modeled_seconds = std::max(t.cpu_modeled_seconds, t.pim_modeled_seconds);
-  t.bases_copied = seq::bases_copied_counter() - copied_before;
+  t.bases_copied =
+      seq::bases_copied_counter().load(std::memory_order_relaxed) -
+      copied_before;
   t.wall_seconds = timer.seconds();
   return out;
 }

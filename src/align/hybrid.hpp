@@ -31,9 +31,9 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 
 #include "align/batch.hpp"
+#include "common/thread_safety.hpp"
 
 namespace pimwfa::align {
 
@@ -61,10 +61,11 @@ class HybridBatchAligner final : public BatchAligner {
   // models the PIM side by simulating a single DPU's share. Served from
   // the calibration cache when this configuration has calibrated before.
   Plan plan(seq::ReadPairSpan batch, AlignmentScope scope,
-            ThreadPool* pool = nullptr) const;
+            ThreadPool* pool = nullptr) const PIMWFA_EXCLUDES(cache_mutex_);
 
   BatchResult run(seq::ReadPairSpan batch, AlignmentScope scope,
-                  ThreadPool* pool = nullptr) override;
+                  ThreadPool* pool = nullptr) override
+      PIMWFA_EXCLUDES(cache_mutex_);
   std::string name() const override { return "hybrid"; }
 
   const BatchOptions& options() const noexcept { return options_; }
@@ -72,7 +73,7 @@ class HybridBatchAligner final : public BatchAligner {
   // Replaces the options (validated) and invalidates the calibration
   // cache. Not safe to call while runs are in flight on this instance;
   // quiesce the engine first.
-  void set_options(BatchOptions options);
+  void set_options(BatchOptions options) PIMWFA_EXCLUDES(cache_mutex_);
 
   // Calibrations actually computed (cache misses) since construction or
   // the last set_options(). Repeated runs of one configuration keep this
@@ -114,11 +115,20 @@ class HybridBatchAligner final : public BatchAligner {
   };
 
   Calibration calibrate(seq::ReadPairSpan batch, AlignmentScope scope,
-                        ThreadPool* pool, usize pairs) const;
+                        ThreadPool* pool, usize pairs) const
+      PIMWFA_REQUIRES(cache_mutex_);
 
+  // options_ is deliberately NOT guarded by cache_mutex_: run()/plan()
+  // read it unlocked on every engine worker, and set_options() documents
+  // that the instance must be quiesced first - the guard is that
+  // external protocol, not the cache lock (which set_options still takes
+  // to clear the cache it invalidates).
   BatchOptions options_;
-  mutable std::mutex cache_mutex_;
-  mutable std::map<CalibrationKey, Calibration> cache_;
+  mutable Mutex cache_mutex_;
+  mutable std::map<CalibrationKey, Calibration> cache_
+      PIMWFA_GUARDED_BY(cache_mutex_);
+  // Relaxed: a monotonic miss counter read for observability/tests; the
+  // cache entry itself is published under cache_mutex_.
   mutable std::atomic<usize> calibrations_{0};
 };
 

@@ -63,15 +63,20 @@ void AlignService::start() {
   options_.validate();
   const usize arena_count =
       options_.arenas ? options_.arenas : options_.engine.max_in_flight + 1;
-  arenas_ = std::vector<seq::ReadPairSet>(arena_count);
-  for (usize i = 0; i < arena_count; ++i) free_arenas_.push_back(i);
+  {
+    // No concurrency yet (the threads start below); the lock is taken for
+    // the annotation's benefit, and because it costs nothing here.
+    MutexLock lock(mutex_);
+    arenas_ = std::vector<seq::ReadPairSet>(arena_count);
+    for (usize i = 0; i < arena_count; ++i) free_arenas_.push_back(i);
+  }
   batcher_ = std::thread([this] { batcher_loop(); });
   completer_ = std::thread([this] { completer_loop(); });
 }
 
 AlignService::~AlignService() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -126,7 +131,7 @@ RequestHandle AlignService::admit(
 std::optional<RequestHandle> AlignService::try_submit(
     std::vector<seq::ReadPair> pairs, Clock::time_point deadline) {
   auto request = make_request(std::move(pairs), deadline);
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   PIMWFA_CHECK(!stop_, "submit on stopped AlignService");
   if (!admissible(request->pair_count, request->bases)) {
     ++rejected_;
@@ -138,8 +143,9 @@ std::optional<RequestHandle> AlignService::try_submit(
 RequestHandle AlignService::submit_wait(std::vector<seq::ReadPair> pairs,
                                         Clock::time_point deadline) {
   auto request = make_request(std::move(pairs), deadline);
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   admission_cv_.wait(lock, [&] {
+    mutex_.assert_held();  // predicate runs under CondVar::wait's lock
     return stop_ || admissible(request->pair_count, request->bases);
   });
   PIMWFA_CHECK(!stop_, "submit on stopped AlignService");
@@ -148,21 +154,24 @@ RequestHandle AlignService::submit_wait(std::vector<seq::ReadPair> pairs,
 
 void AlignService::flush() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     flush_requested_ = true;
   }
   work_cv_.notify_one();
 }
 
 void AlignService::drain() {
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   flush_requested_ = true;
   work_cv_.notify_one();
-  drain_cv_.wait(lock, [this] { return unresolved_ == 0; });
+  drain_cv_.wait(lock, [this] {
+    mutex_.assert_held();  // predicate runs under CondVar::wait's lock
+    return unresolved_ == 0;
+  });
 }
 
 ServiceStats AlignService::stats() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   ServiceStats s;
   s.submitted = submitted_;
   s.completed = completed_;
@@ -227,7 +236,7 @@ void AlignService::recycle_arena(usize arena, usize pairs) {
   arena_cv_.notify_one();
 }
 
-void AlignService::dispatch(std::unique_lock<std::mutex>& lock,
+void AlignService::dispatch(MutexLock& lock,
                             std::vector<detail::BatchShare>& forming) {
   // Final sweep: requests can be cancelled or expire while the batch
   // forms; resolving them here keeps dead pairs out of the arena.
@@ -242,7 +251,10 @@ void AlignService::dispatch(std::unique_lock<std::mutex>& lock,
 
   // The ring is the memory bound: block until a batch completes and
   // returns its arena rather than allocating an unbounded queue of them.
-  arena_cv_.wait(lock, [this] { return !free_arenas_.empty(); });
+  arena_cv_.wait(lock, [this] {
+    mutex_.assert_held();  // predicate runs under CondVar::wait's lock
+    return !free_arenas_.empty();
+  });
   const usize arena_idx = free_arenas_.front();
   free_arenas_.pop_front();
   seq::ReadPairSet& arena = arenas_[arena_idx];
@@ -264,17 +276,22 @@ void AlignService::dispatch(std::unique_lock<std::mutex>& lock,
   batch.pairs = offset;
   batch.shares = std::move(live);
 
-  // Hand off outside the lock; the span is taken only after the arena is
-  // fully built (every add() bumped its generation).
-  lock.unlock();
+  // The span is taken under the lock, after the arena is fully built
+  // (every add() bumped its generation) - it reads the guarded arena's
+  // storage pointer. Only the engine hand-off itself runs unlocked: it
+  // can block on dispatcher capacity, and admission/completion must keep
+  // flowing meanwhile. The batch owns the arena until the completer
+  // recycles it, so nothing mutates what the span points at.
+  const seq::ReadPairSpan arena_span{arena};
   std::future<BatchResult> future;
   std::exception_ptr submit_error;
-  try {
-    future = engine_->submit(seq::ReadPairSpan(arena), options_.scope);
-  } catch (...) {
-    submit_error = std::current_exception();
-  }
-  lock.lock();
+  lock.unlocked([&] {
+    try {
+      future = engine_->submit(arena_span, options_.scope);
+    } catch (...) {
+      submit_error = std::current_exception();
+    }
+  });
 
   if (submit_error) {
     for (auto& share : batch.shares) {
@@ -293,9 +310,10 @@ void AlignService::batcher_loop() {
   usize forming_pairs = 0;
   Clock::time_point oldest{};
 
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   while (true) {
     const auto wake = [this] {
+      mutex_.assert_held();  // predicate runs under CondVar::wait's lock
       return stop_ || flush_requested_ || !pending_.empty();
     };
     if (forming.empty()) {
@@ -341,10 +359,12 @@ void AlignService::batcher_loop() {
 }
 
 void AlignService::completer_loop() {
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   while (true) {
-    inflight_cv_.wait(lock,
-                      [this] { return !inflight_.empty() || batcher_done_; });
+    inflight_cv_.wait(lock, [this] {
+      mutex_.assert_held();  // predicate runs under CondVar::wait's lock
+      return !inflight_.empty() || batcher_done_;
+    });
     if (inflight_.empty()) {
       if (batcher_done_) return;
       continue;
@@ -354,16 +374,17 @@ void AlignService::completer_loop() {
 
     // Block on the batch outside the lock: admission and batch formation
     // keep running while this batch executes.
-    lock.unlock();
     BatchResult result;
     std::exception_ptr error;
-    try {
-      result = batch.future.get();
-    } catch (...) {
-      error = std::current_exception();
-    }
-    const Clock::time_point now = Clock::now();
-    lock.lock();
+    Clock::time_point now;
+    lock.unlocked([&] {
+      try {
+        result = batch.future.get();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      now = Clock::now();
+    });
 
     for (auto& share : batch.shares) {
       detail::ServiceRequest& request = *share.request;

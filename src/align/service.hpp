@@ -29,11 +29,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -41,6 +39,7 @@
 #include "align/batch_engine.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "common/thread_safety.hpp"
 #include "seq/dataset.hpp"
 
 namespace pimwfa::align {
@@ -188,83 +187,93 @@ class AlignService {
   std::optional<RequestHandle> try_submit(
       std::vector<seq::ReadPair> pairs,
       std::chrono::steady_clock::time_point deadline =
-          std::chrono::steady_clock::time_point::max());
+          std::chrono::steady_clock::time_point::max()) PIMWFA_EXCLUDES(mutex_);
 
   // Blocking admission: waits (backpressure) until the request fits
   // under the watermark, then admits it.
   RequestHandle submit_wait(
       std::vector<seq::ReadPair> pairs,
       std::chrono::steady_clock::time_point deadline =
-          std::chrono::steady_clock::time_point::max());
+          std::chrono::steady_clock::time_point::max()) PIMWFA_EXCLUDES(mutex_);
 
   // Ask the batcher to dispatch the forming batch now instead of waiting
   // for a watermark (returns immediately).
-  void flush();
+  void flush() PIMWFA_EXCLUDES(mutex_);
 
   // Flush, then block until every admitted request has resolved.
-  void drain();
+  void drain() PIMWFA_EXCLUDES(mutex_);
 
-  ServiceStats stats() const;
+  ServiceStats stats() const PIMWFA_EXCLUDES(mutex_);
 
   BatchEngine& engine() noexcept { return *engine_; }
   const BatchEngine& engine() const noexcept { return *engine_; }
 
  private:
-  void start();
-  void batcher_loop();
-  void completer_loop();
+  void start() PIMWFA_EXCLUDES(mutex_);
+  void batcher_loop() PIMWFA_EXCLUDES(mutex_);
+  void completer_loop() PIMWFA_EXCLUDES(mutex_);
 
   std::shared_ptr<detail::ServiceRequest> make_request(
       std::vector<seq::ReadPair> pairs,
       std::chrono::steady_clock::time_point deadline) const;
-  // All of the below require mutex_ held.
-  bool admissible(usize pair_count, u64 bases) const;
-  RequestHandle admit(std::shared_ptr<detail::ServiceRequest> request);
-  bool resolve_if_dead(detail::ServiceRequest& request);
+  bool admissible(usize pair_count, u64 bases) const PIMWFA_REQUIRES(mutex_);
+  RequestHandle admit(std::shared_ptr<detail::ServiceRequest> request)
+      PIMWFA_REQUIRES(mutex_);
+  bool resolve_if_dead(detail::ServiceRequest& request)
+      PIMWFA_REQUIRES(mutex_);
   void finish_exceptionally(detail::ServiceRequest& request,
-                            std::exception_ptr error, usize* counter);
-  void release_counters(detail::ServiceRequest& request);
-  void recycle_arena(usize arena, usize pairs);
+                            std::exception_ptr error, usize* counter)
+      PIMWFA_REQUIRES(mutex_);
+  void release_counters(detail::ServiceRequest& request)
+      PIMWFA_REQUIRES(mutex_);
+  void recycle_arena(usize arena, usize pairs) PIMWFA_REQUIRES(mutex_);
   // Fills an arena from `forming`, submits it, queues the in-flight
-  // record; unlocks (and re-locks) `lock` around the engine hand-off.
-  void dispatch(std::unique_lock<std::mutex>& lock,
-                std::vector<detail::BatchShare>& forming);
+  // record; drops (and reacquires) `lock` around the engine hand-off.
+  void dispatch(MutexLock& lock, std::vector<detail::BatchShare>& forming)
+      PIMWFA_REQUIRES(mutex_);
 
   ServiceOptions options_;
   std::unique_ptr<BatchEngine> engine_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;       // batcher <- admission/flush/stop
-  std::condition_variable admission_cv_;  // producers <- counter release
-  std::condition_variable arena_cv_;      // batcher <- arena recycled
-  std::condition_variable inflight_cv_;   // completer <- batch dispatched
-  std::condition_variable drain_cv_;      // drain() <- last resolution
+  mutable Mutex mutex_;
+  CondVar work_cv_;       // batcher <- admission/flush/stop
+  CondVar admission_cv_;  // producers <- counter release
+  CondVar arena_cv_;      // batcher <- arena recycled
+  CondVar inflight_cv_;   // completer <- batch dispatched
+  CondVar drain_cv_;      // drain() <- last resolution
 
-  std::deque<std::shared_ptr<detail::ServiceRequest>> pending_;
-  std::deque<detail::InFlightBatch> inflight_;
-  std::vector<seq::ReadPairSet> arenas_;
-  std::deque<usize> free_arenas_;
+  std::deque<std::shared_ptr<detail::ServiceRequest>> pending_
+      PIMWFA_GUARDED_BY(mutex_);
+  std::deque<detail::InFlightBatch> inflight_ PIMWFA_GUARDED_BY(mutex_);
+  // The arenas_ *vector* never resizes after start(); each element is
+  // handed to exactly one in-flight batch at a time by the free-list
+  // protocol below, and the engine reads its pairs through spans outside
+  // the lock. The member accesses here (fill, clear, span-take) all
+  // happen under the lock, which is what the annotation checks.
+  std::vector<seq::ReadPairSet> arenas_ PIMWFA_GUARDED_BY(mutex_);
+  std::deque<usize> free_arenas_ PIMWFA_GUARDED_BY(mutex_);
 
-  bool stop_ = false;
-  bool flush_requested_ = false;
-  bool batcher_done_ = false;
+  bool stop_ PIMWFA_GUARDED_BY(mutex_) = false;
+  bool flush_requested_ PIMWFA_GUARDED_BY(mutex_) = false;
+  bool batcher_done_ PIMWFA_GUARDED_BY(mutex_) = false;
 
-  usize queued_pairs_ = 0;  // admitted but unresolved
-  u64 queued_bases_ = 0;
-  usize unresolved_ = 0;
-  usize resident_pairs_ = 0;  // pairs currently held across arenas
+  usize queued_pairs_ PIMWFA_GUARDED_BY(mutex_) = 0;  // admitted, unresolved
+  u64 queued_bases_ PIMWFA_GUARDED_BY(mutex_) = 0;
+  usize unresolved_ PIMWFA_GUARDED_BY(mutex_) = 0;
+  // Pairs currently held across arenas.
+  usize resident_pairs_ PIMWFA_GUARDED_BY(mutex_) = 0;
 
   // stats
-  usize submitted_ = 0;
-  usize completed_ = 0;
-  usize cancelled_ = 0;
-  usize expired_ = 0;
-  usize failed_ = 0;
-  usize rejected_ = 0;
-  usize batches_ = 0;
-  usize peak_queued_pairs_ = 0;
-  usize peak_resident_pairs_ = 0;
-  SampleSet latency_ms_;
+  usize submitted_ PIMWFA_GUARDED_BY(mutex_) = 0;
+  usize completed_ PIMWFA_GUARDED_BY(mutex_) = 0;
+  usize cancelled_ PIMWFA_GUARDED_BY(mutex_) = 0;
+  usize expired_ PIMWFA_GUARDED_BY(mutex_) = 0;
+  usize failed_ PIMWFA_GUARDED_BY(mutex_) = 0;
+  usize rejected_ PIMWFA_GUARDED_BY(mutex_) = 0;
+  usize batches_ PIMWFA_GUARDED_BY(mutex_) = 0;
+  usize peak_queued_pairs_ PIMWFA_GUARDED_BY(mutex_) = 0;
+  usize peak_resident_pairs_ PIMWFA_GUARDED_BY(mutex_) = 0;
+  SampleSet latency_ms_ PIMWFA_GUARDED_BY(mutex_);
 
   std::thread batcher_;
   std::thread completer_;

@@ -23,7 +23,7 @@ ThreadPool::ThreadPool(usize threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -34,7 +34,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     PIMWFA_CHECK(!stop_, "submit on stopped thread pool");
     queue_.push(std::move(packaged));
   }
@@ -43,8 +43,11 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  idle_cv_.wait(lock, [this] {
+    mutex_.assert_held();  // predicate runs under CondVar::wait's lock
+    return queue_.empty() && in_flight_ == 0;
+  });
 }
 
 std::vector<std::pair<usize, usize>> ThreadPool::partition(usize n,
@@ -104,8 +107,11 @@ void ThreadPool::worker_loop() {
   while (true) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      cv_.wait(lock, [this] {
+        mutex_.assert_held();  // predicate runs under CondVar::wait's lock
+        return stop_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // stop_ was set and queue drained
       task = std::move(queue_.front());
       queue_.pop();
@@ -113,7 +119,7 @@ void ThreadPool::worker_loop() {
     }
     task();  // packaged_task traps exceptions into the future
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
     }

@@ -3,15 +3,14 @@
 // scatter/gather paths of the PIM simulator.
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/thread_safety.hpp"
 #include "common/types.hpp"
 
 namespace pimwfa {
@@ -29,10 +28,10 @@ class ThreadPool {
   usize size() const noexcept { return workers_.size(); }
 
   // Enqueue a task; returns a future for its completion.
-  std::future<void> submit(std::function<void()> task);
+  std::future<void> submit(std::function<void()> task) PIMWFA_EXCLUDES(mutex_);
 
   // Block until all submitted tasks have finished.
-  void wait_idle();
+  void wait_idle() PIMWFA_EXCLUDES(mutex_);
 
   // Statically partition [0, n) into min(n, size()) chunks and run
   // body(begin, end) on the pool; blocks until done. Exceptions from the
@@ -57,12 +56,12 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  usize in_flight_ = 0;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  CondVar idle_cv_;
+  std::queue<std::packaged_task<void()>> queue_ PIMWFA_GUARDED_BY(mutex_);
+  usize in_flight_ PIMWFA_GUARDED_BY(mutex_) = 0;
+  bool stop_ PIMWFA_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace pimwfa

@@ -1,10 +1,10 @@
 #include "cpu/cpu_batch.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <thread>
 
 #include "common/check.hpp"
+#include "common/thread_safety.hpp"
 #include "common/timer.hpp"
 #include "cpu/scaling_model.hpp"
 #include "wfa/wfa_aligner.hpp"
@@ -69,7 +69,7 @@ CpuBatchResult CpuBatchAligner::align_batch(seq::ReadPairSpan batch,
   batch.check_valid();
   CpuBatchResult out;
   out.results.resize(batch.size());
-  std::mutex merge_mutex;
+  Mutex merge_mutex;
 
   auto worker = [&](usize begin, usize end) {
     if (options_.simd) {
@@ -81,7 +81,7 @@ CpuBatchResult CpuBatchAligner::align_batch(seq::ReadPairSpan batch,
                         simd::FastPathConfig{options_.simd_edit_threshold},
                         out.results, stats, work, high_water,
                         to_wfa_mode(options_.memory_mode));
-      std::lock_guard lock(merge_mutex);
+      MutexLock lock(merge_mutex);
       out.work.merge(work);
       out.simd.merge(stats);
       out.allocator_high_water =
@@ -95,7 +95,7 @@ CpuBatchResult CpuBatchAligner::align_batch(seq::ReadPairSpan batch,
     for (usize i = begin; i < end; ++i) {
       out.results[i] = aligner.align(batch.pattern(i), batch.text(i), scope);
     }
-    std::lock_guard lock(merge_mutex);
+    MutexLock lock(merge_mutex);
     out.work.merge(aligner.counters());
     out.allocator_high_water =
         std::max(out.allocator_high_water, aligner.allocator().high_water());

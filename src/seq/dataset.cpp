@@ -172,7 +172,9 @@ ReadPairSet ReadPairSet::sample_every(usize stride) const {
   out.nominal_read_length = nominal_read_length;
   out.reserve((pairs_.size() + stride - 1) / stride);
   for (usize i = 0; i < pairs_.size(); i += stride) {
-    bases_copied_counter() += pairs_[i].pattern.size() + pairs_[i].text.size();
+    bases_copied_counter().fetch_add(
+        pairs_[i].pattern.size() + pairs_[i].text.size(),
+        std::memory_order_relaxed);
     out.add(pairs_[i]);
   }
   return out;

@@ -61,6 +61,11 @@ namespace pimwfa::seq::detail {
 // because spans validate from engine worker threads while the owning
 // thread mutates; the block itself is immutable-shaped (two monotonic
 // transitions), so acquire/release is all the ordering needed.
+//
+// Deliberately lock-free: validation sits on every span access in the
+// batch hot path, so there is no Mutex here and no capability
+// annotations apply (see common/thread_safety.hpp) - the thread-safety
+// story is exactly the two acquire/release transitions below.
 struct ViewControl {
   std::atomic<u64> generation{0};
   std::atomic<bool> alive{true};

@@ -6,8 +6,8 @@
 
 namespace pimwfa::seq {
 
-u64& bases_copied_counter() noexcept {
-  thread_local u64 counter = 0;
+std::atomic<u64>& bases_copied_counter() noexcept {
+  static std::atomic<u64> counter{0};
   return counter;
 }
 
@@ -76,7 +76,7 @@ ReadPairSet ReadPairSpan::to_owned() const {
   ReadPairSet out;
   out.reserve(size_);
   for (usize i = 0; i < size_; ++i) out.add(data_[i]);
-  bases_copied_counter() += total_bases();
+  bases_copied_counter().fetch_add(total_bases(), std::memory_order_relaxed);
   return out;
 }
 

@@ -26,6 +26,7 @@
 // check compiles to nothing.
 #pragma once
 
+#include <atomic>
 #include <string_view>
 
 #include "seq/dataset.hpp"
@@ -33,12 +34,20 @@
 
 namespace pimwfa::seq {
 
-// Thread-local count of bases deep-copied by the owning carve APIs
+// Process-wide count of bases deep-copied by the owning carve APIs
 // (ReadPairSet::slice / sample_every, ReadPairSpan::to_owned). The
 // dispatchers snapshot it around a run and report the delta as
 // BatchTimings::bases_copied; the CI perf gate pins that delta to zero so
 // an O(total bases) copy cannot silently return to the hot path.
-u64& bases_copied_counter() noexcept;
+//
+// One atomic, not thread_local: copies performed on pool worker threads
+// must be visible to the dispatcher thread that snapshots the delta (a
+// thread_local counter silently under-counted exactly the multi-threaded
+// runs the gate exists for). All accesses are std::memory_order_relaxed -
+// it is a statistic, never a synchronization edge; snapshot deltas are
+// exact only while no unrelated run copies concurrently, which is the
+// pinned-to-zero regime the gate enforces.
+std::atomic<u64>& bases_copied_counter() noexcept;
 
 class ReadPairSpan {
  public:

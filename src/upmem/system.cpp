@@ -40,7 +40,7 @@ void PimSystem::reserve_mram(usize index, u64 bytes) {
 
 void PimSystem::copy_to_mram(usize dpu, u64 addr, std::span<const u8> data) {
   dpus_.at(dpu)->mram().write(addr, data.data(), data.size());
-  std::lock_guard lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   to_device_.bytes += data.size();
   if (!touched_[dpu]) {
     touched_[dpu] = 1;
@@ -50,34 +50,34 @@ void PimSystem::copy_to_mram(usize dpu, u64 addr, std::span<const u8> data) {
 
 void PimSystem::copy_from_mram(usize dpu, u64 addr, std::span<u8> out) const {
   dpus_.at(dpu)->mram().read(addr, out.data(), out.size());
-  std::lock_guard lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   from_device_.bytes += out.size();
 }
 
 void PimSystem::reset_transfer_stats() {
-  std::lock_guard lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   to_device_ = TransferStats{};
   from_device_ = TransferStats{};
   std::fill(touched_.begin(), touched_.end(), 0);
 }
 
 void PimSystem::account_to_device(u64 bytes) {
-  std::lock_guard lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   to_device_.bytes += bytes;
 }
 
 void PimSystem::account_from_device(u64 bytes) {
-  std::lock_guard lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   from_device_.bytes += bytes;
 }
 
 TransferStats PimSystem::to_device() const {
-  std::lock_guard lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   return to_device_;
 }
 
 TransferStats PimSystem::from_device() const {
-  std::lock_guard lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   return from_device_;
 }
 
@@ -92,7 +92,7 @@ LaunchStats PimSystem::launch_group(
   LaunchStats stats;
   stats.dpus = count;
   if (per_dpu_cycles != nullptr) per_dpu_cycles->assign(count, 0);
-  std::mutex merge_mutex;
+  Mutex merge_mutex;
   auto run_range = [&](usize begin, usize end) {
     u64 local_max = 0;
     u64 local_total = 0;
@@ -106,7 +106,7 @@ LaunchStats PimSystem::launch_group(
       local_total += run.cycles;
       local_combined.merge(run.combined());
     }
-    std::lock_guard lock(merge_mutex);
+    MutexLock lock(merge_mutex);
     stats.max_cycles = std::max(stats.max_cycles, local_max);
     stats.total_cycles += local_total;
     stats.combined.merge(local_combined);

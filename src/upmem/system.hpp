@@ -12,11 +12,11 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "common/thread_safety.hpp"
 #include "upmem/cost_model.hpp"
 #include "upmem/dpu.hpp"
 
@@ -75,20 +75,22 @@ class PimSystem {
   void reserve_mram(usize index, u64 bytes);
 
   // --- host<->MRAM transfers (byte-accounted, thread-safe) -------------
-  void copy_to_mram(usize dpu, u64 addr, std::span<const u8> data);
-  void copy_from_mram(usize dpu, u64 addr, std::span<u8> out) const;
+  void copy_to_mram(usize dpu, u64 addr, std::span<const u8> data)
+      PIMWFA_EXCLUDES(stats_mutex_);
+  void copy_from_mram(usize dpu, u64 addr, std::span<u8> out) const
+      PIMWFA_EXCLUDES(stats_mutex_);
 
   // Traffic recorded since the last reset_transfer_stats(), split by
   // direction. Read these only while no transfer stage is in flight.
-  TransferStats to_device() const;
-  TransferStats from_device() const;
-  void reset_transfer_stats();
+  TransferStats to_device() const PIMWFA_EXCLUDES(stats_mutex_);
+  TransferStats from_device() const PIMWFA_EXCLUDES(stats_mutex_);
+  void reset_transfer_stats() PIMWFA_EXCLUDES(stats_mutex_);
 
   // Record traffic without materializing it (used when only a subset of a
   // uniform workload is functionally simulated; the remaining bytes still
   // cross the bus in the timing model).
-  void account_to_device(u64 bytes);
-  void account_from_device(u64 bytes);
+  void account_to_device(u64 bytes) PIMWFA_EXCLUDES(stats_mutex_);
+  void account_from_device(u64 bytes) PIMWFA_EXCLUDES(stats_mutex_);
 
   // --- launch ----------------------------------------------------------
   // Launch one kernel instance per simulated DPU in [first, first+count).
@@ -117,11 +119,16 @@ class PimSystem {
  private:
   SystemConfig config_;
   CostModel cost_model_;
+  // The DPU objects themselves are not guarded: concurrent stages touch
+  // disjoint, pre-reserved MRAM extents per the reserve_mram contract,
+  // and launches of one DPU never overlap its transfers (the pipeline
+  // schedule sequences them).
   std::vector<std::unique_ptr<Dpu>> dpus_;
-  mutable std::mutex stats_mutex_;
-  mutable TransferStats to_device_;
-  mutable TransferStats from_device_;
-  mutable std::vector<u8> touched_;  // per-DPU traffic flags
+  mutable Mutex stats_mutex_;
+  mutable TransferStats to_device_ PIMWFA_GUARDED_BY(stats_mutex_);
+  mutable TransferStats from_device_ PIMWFA_GUARDED_BY(stats_mutex_);
+  // Per-DPU traffic flags (dpus_touched accounting).
+  mutable std::vector<u8> touched_ PIMWFA_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace pimwfa::upmem

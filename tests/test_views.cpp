@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <future>
 #include <memory>
 #include <thread>
@@ -155,21 +156,24 @@ TEST(BasesCopiedCounter, OwningCarvesCountAndViewsDoNot) {
   const ReadPairSet set = small_batch(12);
   const ReadPairSpan view(set);
 
-  u64& counter = seq::bases_copied_counter();
-  const u64 before = counter;
+  // The counter is a process-wide atomic; relaxed loads are the documented
+  // access convention (it is a statistic, not a synchronization edge).
+  std::atomic<u64>& counter = seq::bases_copied_counter();
+  const u64 before = counter.load(std::memory_order_relaxed);
   (void)view.subspan(2, 10);
   (void)view.first(6);
-  EXPECT_EQ(counter, before) << "view carving must not copy bases";
+  EXPECT_EQ(counter.load(std::memory_order_relaxed), before)
+      << "view carving must not copy bases";
 
   const ReadPairSet sliced = set.slice(2, 10);
   u64 expected = 0;
   for (usize i = 2; i < 10; ++i) {
     expected += set[i].pattern.size() + set[i].text.size();
   }
-  EXPECT_EQ(counter, before + expected);
+  EXPECT_EQ(counter.load(std::memory_order_relaxed), before + expected);
 
   const ReadPairSet owned = view.subspan(2, 10).to_owned();
-  EXPECT_EQ(counter, before + 2 * expected);
+  EXPECT_EQ(counter.load(std::memory_order_relaxed), before + 2 * expected);
   EXPECT_EQ(owned, sliced);
 }
 
